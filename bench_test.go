@@ -1,0 +1,513 @@
+// Benchmarks regenerating every table and figure in the paper's
+// evaluation, plus micro-benchmarks of the quorum machinery itself. Run
+// with:
+//
+//	go test -bench=. -benchmem
+//
+// Key measured quantities are surfaced via b.ReportMetric so the bench
+// output doubles as the experiment log (see EXPERIMENTS.md for the
+// paper-vs-measured discussion).
+package bqs_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"bqs"
+	"bqs/internal/bench"
+	"bqs/internal/lattice"
+	"bqs/internal/measures"
+)
+
+// --- Table 2 -------------------------------------------------------------
+
+func BenchmarkTable2(b *testing.B) {
+	cfg := bench.DefaultTable2Config()
+	cfg.Trials = 1000
+	var rows []bench.Table2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Table2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.System {
+		case "RT(4,3,h=5)":
+			b.ReportMetric(r.Fp, "RT_Fp")
+		case "M-Grid(d=32,b=15)":
+			b.ReportMetric(r.Fp, "MGrid_Fp")
+		}
+	}
+}
+
+// --- Section 8 worked example ---------------------------------------------
+
+func BenchmarkSection8(b *testing.B) {
+	var rows []bench.Section8Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Section8(1500, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.System == "boostFPP(q=3,b=19)" {
+			b.ReportMetric(r.MeasuredFp, "boostFPP_Fp")
+		}
+	}
+}
+
+// --- Figures ---------------------------------------------------------------
+
+func BenchmarkFigure1MGrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Figure1MGrid(int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2RT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Figure2RT(int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure3MPath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Figure3MPath(int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Bounds and sweeps -------------------------------------------------------
+
+func BenchmarkLoadVsLowerBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.LoadVsLowerBound(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCrashVsLowerBound(b *testing.B) {
+	// Exact F_p vs Propositions 4.3–4.5 on an enumerable masking system.
+	th, err := bqs.NewMaskingThreshold(13, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex, err := th.Enumerate(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps := []float64{0.05, 0.1, 0.2, 0.3, 0.4}
+	for i := 0; i < b.N; i++ {
+		for _, p := range ps {
+			fp, err := bqs.CrashProbabilityExact(ex, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if fp < bqs.CrashLowerBoundMT(ex.MinTransversal(), p) {
+				b.Fatal("Prop 4.3 violated")
+			}
+			if fp < bqs.CrashLowerBoundMasking(ex.MinQuorumSize(), 3, p) {
+				b.Fatal("Prop 4.4 violated")
+			}
+			if bqs.Prop45Applies(ex) && fp < bqs.CrashLowerBoundB(3, p) {
+				b.Fatal("Prop 4.5 violated")
+			}
+		}
+	}
+}
+
+func BenchmarkMGridLoad(b *testing.B) {
+	// Proposition 5.2: empirical load of the M-Grid strategy vs analytic.
+	mg, err := bqs.NewMGrid(32, 15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var emp float64
+	for i := 0; i < b.N; i++ {
+		emp = bqs.EmpiricalLoad(mg, 2000, rng)
+	}
+	b.ReportMetric(emp, "empirical_load")
+	b.ReportMetric(mg.Load(), "analytic_load")
+}
+
+func BenchmarkMGridCrashGoesToOne(b *testing.B) {
+	// Section 5.1: the row bound (and so F_p) escalates with n at fixed p.
+	var last float64
+	for i := 0; i < b.N; i++ {
+		for _, d := range []int{16, 32, 64, 128} {
+			mg, err := bqs.NewMGrid(d, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = mg.CrashLowerBoundRows(0.125)
+		}
+	}
+	b.ReportMetric(last, "rowbound_d128")
+}
+
+func BenchmarkRTParams(b *testing.B) {
+	// Proposition 5.3 parameter algebra across depths.
+	for i := 0; i < b.N; i++ {
+		for h := 1; h <= 8; h++ {
+			rt, err := bqs.NewRT(4, 3, h)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = rt.MinQuorumSize() + rt.MinIntersection() + rt.MinTransversal()
+		}
+	}
+}
+
+func BenchmarkRTCriticalProbability(b *testing.B) {
+	var rows []bench.RTCriticalRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.RTCriticalProbabilities()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.K == 4 && r.L == 3 {
+			b.ReportMetric(r.Pc, "RT43_pc")
+		}
+	}
+}
+
+func BenchmarkBoostFPPLoad(b *testing.B) {
+	// Proposition 6.2: load ≈ 3/(4q) across q.
+	for i := 0; i < b.N; i++ {
+		for _, q := range []int{2, 3, 4, 5, 7} {
+			bf, err := bqs.NewBoostFPP(q, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = bf.Load()
+		}
+	}
+}
+
+func BenchmarkBoostFPPCrash(b *testing.B) {
+	// Proposition 6.3: exact F_p vs Chernoff bound for p < 1/4.
+	bf, err := bqs.NewBoostFPP(3, 19)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var fp float64
+	for i := 0; i < b.N; i++ {
+		for _, p := range []float64{0.05, 0.125, 0.2} {
+			v, err := bf.CrashProbability(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if v > bf.CrashUpperBound(p) {
+				b.Fatal("Prop 6.3 inequality (6) violated")
+			}
+			if p == 0.125 {
+				fp = v
+			}
+		}
+	}
+	b.ReportMetric(fp, "Fp_at_eighth")
+}
+
+func BenchmarkMPathLoad(b *testing.B) {
+	mp, err := bqs.NewMPath(32, 15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	var emp float64
+	for i := 0; i < b.N; i++ {
+		emp = bqs.EmpiricalLoad(mp, 2000, rng)
+	}
+	b.ReportMetric(emp, "empirical_load")
+	b.ReportMetric(mp.Load(), "analytic_load")
+}
+
+func BenchmarkMPathCrash(b *testing.B) {
+	// Proposition 7.3: Monte Carlo F_p at p approaching 1/2 on a 24×24
+	// grid with b = 4 (3 paths per direction).
+	mp, err := bqs.NewMPath(24, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var est float64
+	for i := 0; i < b.N; i++ {
+		mc, err := bqs.CrashProbabilityMC(mp, 0.30, 200, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		est = mc.Estimate
+	}
+	b.ReportMetric(est, "Fp_at_0.30")
+}
+
+func BenchmarkPercolationCrossing(b *testing.B) {
+	// Appendix B: P_p(LR) near the critical probability.
+	g, err := lattice.New(24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	var prob float64
+	for i := 0; i < b.N; i++ {
+		prob, err = g.CrossingProbability(lattice.LeftRight, 0.45, 1, 100, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(prob, "P_0.45_LR")
+}
+
+func BenchmarkComposition(b *testing.B) {
+	// Theorem 4.7: parameters of maj3∘maj3∘maj3 built lazily.
+	maj, err := bqs.NewMajority(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		c2 := bqs.Compose(maj, maj)
+		c3 := bqs.Compose(maj, c2)
+		if c3.UniverseSize() != 27 || c3.MinQuorumSize() != 8 || c3.MinTransversal() != 8 {
+			b.Fatal("Theorem 4.7 algebra broken")
+		}
+	}
+}
+
+func BenchmarkResilienceLoadTradeoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.ResilienceLoadTradeoff()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if !r.Holds {
+				b.Fatalf("%s violates f ≤ nL", r.System)
+			}
+		}
+	}
+}
+
+// --- Micro-benchmarks of the core machinery ---------------------------------
+
+func BenchmarkSelectQuorumThreshold1021(b *testing.B) {
+	th, err := bqs.NewMaskingThreshold(1021, 255)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	dead := bqs.SetOf(1, 100, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := th.SelectQuorum(rng, dead); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectQuorumMGrid32(b *testing.B) {
+	mg, err := bqs.NewMGrid(32, 15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	dead := bqs.SetOf(5, 77, 300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mg.SelectQuorum(rng, dead); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectQuorumMPath32(b *testing.B) {
+	mp, err := bqs.NewMPath(32, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	dead := bqs.SetOf(5, 77, 300, 600)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mp.SelectQuorum(rng, dead); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectQuorumBoostFPP(b *testing.B) {
+	bf, err := bqs.NewBoostFPP(3, 19)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	dead := bqs.SetOf(3, 100, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bf.SelectQuorum(rng, dead); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoadLPFano(b *testing.B) {
+	fpp, err := bqs.NewFPP(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bqs.Load(fpp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactCrashFano(b *testing.B) {
+	fpp, err := bqs.NewFPP(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bqs.CrashProbabilityExact(fpp, 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCrashMCThreshold(b *testing.B) {
+	th, err := bqs.NewMaskingThreshold(101, 25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := measures.CrashProbabilityMC(th, 0.125, 100, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRegisterWriteRead(b *testing.B) {
+	sys, err := bqs.NewMaskingThreshold(21, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cluster, err := bqs.NewCluster(sys, 5, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cluster.InjectFault(bqs.ByzantineFabricate, 0, 7, 14); err != nil {
+		b.Fatal(err)
+	}
+	w := cluster.NewClient(1)
+	r := cluster.NewClient(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Write("bench"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Read(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Extensions beyond the paper's minimum ----------------------------------
+
+func BenchmarkBoostingTable(b *testing.B) {
+	// §6 boosting applied to majority, NW-grid, FPP and crumbling wall.
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.BoostingTable(0.05, 300, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Masks < r.B {
+				b.Fatalf("%s: boosting failed to mask b=%d", r.Input, r.B)
+			}
+		}
+	}
+}
+
+func BenchmarkStrategyAblation(b *testing.B) {
+	var rows []bench.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.StrategyAblation(2000, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(rows) > 0 {
+		b.ReportMetric(rows[len(rows)-1].Penalty, "biased_penalty")
+	}
+}
+
+func BenchmarkMPathEdgeAblation(b *testing.B) {
+	// Square-lattice edge variant (end of §7): load ratio vs triangular.
+	vertex, err := bqs.NewMPath(17, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	edge, err := bqs.NewMPathEdge(13, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	dead := bqs.NewSet(edge.UniverseSize())
+	for i := 0; i < b.N; i++ {
+		if _, err := edge.SelectQuorum(rng, dead); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(edge.Load()/vertex.Load(), "edge_vs_vertex_load")
+}
+
+func BenchmarkProbMaskingEpsilon(b *testing.B) {
+	// [MRWW98] extension: ε-masking beats the f ≤ nL tradeoff.
+	p, err := bqs.NewProbMasking(1024, 160, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var eps float64
+	for i := 0; i < b.N; i++ {
+		eps = p.EpsilonMasking()
+	}
+	breaks, _ := p.BreaksTradeoff()
+	if !breaks {
+		b.Fatal("probabilistic system should break f ≤ nL")
+	}
+	b.ReportMetric(eps, "epsilon")
+}
+
+func BenchmarkCrashPolynomial(b *testing.B) {
+	wall, err := bqs.NewCrumblingWall([]int{1, 2, 3, 4}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		counts, err := bqs.CrashPolynomial(wall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if bqs.EvalCrashPolynomial(counts, 0.2) <= 0 {
+			b.Fatal("polynomial should be positive")
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package bqs
+
+import (
+	"math/rand"
+
+	"bqs/internal/bitset"
+	"bqs/internal/compose"
+	"bqs/internal/core"
+	"bqs/internal/measures"
+	"bqs/internal/projective"
+	"bqs/internal/sim"
+	"bqs/internal/systems"
+)
+
+// Core model types, re-exported from the internal implementation.
+type (
+	// Set is a set of server indices; quorums and failure patterns are Sets.
+	Set = bitset.Set
+	// System is the minimal quorum-system interface (selection under a
+	// failure pattern).
+	System = core.System
+	// Sampler is a System carrying a load-balancing access strategy
+	// (Definition 3.8).
+	Sampler = core.Sampler
+	// Enumerable is a System whose quorum list is materialized.
+	Enumerable = core.Enumerable
+	// Parameterized exposes c(Q), IS(Q) and MT(Q).
+	Parameterized = core.Parameterized
+	// Masking is a b-masking System (Definition 3.5).
+	Masking = core.Masking
+	// ExplicitSystem is a materialized quorum system with exact analysis.
+	ExplicitSystem = core.ExplicitSystem
+	// Strategy is an access strategy over an explicit system's quorums.
+	Strategy = core.Strategy
+	// Composite is the lazy composition S∘R (Definition 4.6).
+	Composite = compose.Composite
+	// MCResult is a Monte Carlo crash-probability estimate.
+	MCResult = measures.MCResult
+
+	// Threshold is the ℓ-of-n system (Table 2 baseline / RT block).
+	Threshold = systems.Threshold
+	// Grid is the [MR98a] masking grid baseline.
+	Grid = systems.Grid
+	// MGrid is the multi-grid construction of §5.1.
+	MGrid = systems.MGrid
+	// RT is the recursive threshold construction of §5.2.
+	RT = systems.RT
+	// BoostFPP is the boosted finite projective plane of §6.
+	BoostFPP = systems.BoostFPP
+	// MPath is the multi-path construction of §7.
+	MPath = systems.MPath
+	// MPathEdge is the square-lattice bond variant mentioned at the end
+	// of §7 (servers on edges, dual-path TB quorums).
+	MPathEdge = systems.MPathEdge
+	// ProbMasking is the probabilistic masking system of [MRWW98] cited
+	// in §8 as the way past the f ≤ nL tradeoff.
+	ProbMasking = systems.ProbMasking
+
+	// Cluster is a simulated server fleet behind a masking quorum system.
+	Cluster = sim.Cluster
+	// Client reads and writes the replicated variable via quorums.
+	Client = sim.Client
+	// DisseminationClient runs the [MR98a] self-verifying-data protocol,
+	// which needs only IS ≥ b+1.
+	DisseminationClient = sim.DisseminationClient
+	// Authenticator simulates the signature scheme dissemination relies on.
+	Authenticator = sim.Authenticator
+	// Behavior is a server fault mode for injection.
+	Behavior = sim.Behavior
+)
+
+// Sentinel errors.
+var (
+	// ErrNoLiveQuorum reports that every quorum intersects the failed set.
+	ErrNoLiveQuorum = core.ErrNoLiveQuorum
+)
+
+// Server fault modes for Cluster.InjectFault.
+const (
+	Correct             = sim.Correct
+	Crashed             = sim.Crashed
+	ByzantineFabricate  = sim.ByzantineFabricate
+	ByzantineStale      = sim.ByzantineStale
+	ByzantineEquivocate = sim.ByzantineEquivocate
+)
+
+// NewSet returns an empty Set sized for a universe of n servers.
+func NewSet(n int) Set { return bitset.New(n) }
+
+// SetOf returns a Set holding the given server indices.
+func SetOf(elems ...int) Set { return bitset.FromSlice(elems) }
+
+// NewExplicit builds and verifies an explicit quorum system
+// (Definition 3.1) over the universe {0,…,n−1}.
+func NewExplicit(name string, n int, quorums []Set) (*ExplicitSystem, error) {
+	return core.NewExplicit(name, n, quorums)
+}
+
+// NewThreshold returns the ℓ-of-n threshold system (requires 2ℓ > n).
+func NewThreshold(n, l int) (*Threshold, error) { return systems.NewThreshold(n, l) }
+
+// NewMaskingThreshold returns the b-masking Threshold of [MR98a]: quorums
+// of size ⌈(n+2b+1)/2⌉ over n ≥ 4b+1 servers.
+func NewMaskingThreshold(n, b int) (*Threshold, error) { return systems.NewMaskingThreshold(n, b) }
+
+// NewMajority returns the ⌊n/2⌋+1-of-n majority system [Tho79].
+func NewMajority(n int) (*Threshold, error) { return systems.NewMajority(n) }
+
+// NewDisseminationThreshold returns the [MR98a] dissemination threshold
+// (quorums of ⌈(n+b+1)/2⌉, intersections ≥ b+1) for self-verifying data.
+func NewDisseminationThreshold(n, b int) (*Threshold, error) {
+	return systems.NewDisseminationThreshold(n, b)
+}
+
+// NewAuthenticator returns the simulated signature registry used by
+// DisseminationClient.
+func NewAuthenticator() *Authenticator { return sim.NewAuthenticator() }
+
+// NewGrid returns the b-masking grid of [MR98a] on a d×d universe.
+func NewGrid(d, b int) (*Grid, error) { return systems.NewGrid(d, b) }
+
+// NewNWGrid returns the regular row-plus-column grid (the b = 0 Grid).
+func NewNWGrid(d int) (*Grid, error) { return systems.NewNWGrid(d) }
+
+// NewMGrid returns the M-Grid construction of §5.1 on a d×d universe:
+// quorums of √(b+1) rows plus √(b+1) columns, optimal load.
+func NewMGrid(d, b int) (*MGrid, error) { return systems.NewMGrid(d, b) }
+
+// NewRT returns the recursive threshold RT(k,ℓ) of depth h (§5.2).
+func NewRT(k, l, h int) (*RT, error) { return systems.NewRT(k, l, h) }
+
+// NewBoostFPP returns boostFPP(q, b) = FPP(q) ∘ Thresh(3b+1 of 4b+1) (§6);
+// q must be a prime power.
+func NewBoostFPP(q, b int) (*BoostFPP, error) { return systems.NewBoostFPP(q, b) }
+
+// NewMPath returns the M-Path construction of §7 on a d×d triangulated
+// grid: quorums of √(2b+1) disjoint left-right plus √(2b+1) disjoint
+// top-bottom paths; optimal in both load and crash probability.
+func NewMPath(d, b int) (*MPath, error) { return systems.NewMPath(d, b) }
+
+// NewMPathEdge returns the square-lattice edge variant of M-Path: servers
+// on the bonds of a d×d grid, dual top-bottom paths (end of §7).
+func NewMPathEdge(d, b int) (*MPathEdge, error) { return systems.NewMPathEdge(d, b) }
+
+// NewProbMasking returns the probabilistic b-masking system of [MRWW98]
+// with quorum size s over n servers; see (*ProbMasking).EpsilonMasking.
+func NewProbMasking(n, s, b int) (*ProbMasking, error) { return systems.NewProbMasking(n, s, b) }
+
+// NewCrumblingWall returns the crumbling-wall regular system of [PW97b]
+// with the given row widths (explicit; small walls only).
+func NewCrumblingWall(widths []int, limit int) (*ExplicitSystem, error) {
+	return systems.NewCrumblingWall(widths, limit)
+}
+
+// NewWheel returns the wheel system of [NW98] over n servers.
+func NewWheel(n int) (*ExplicitSystem, error) { return systems.NewWheel(n) }
+
+// CrashPolynomial returns the exact kill counts N_k of the system
+// (F_p = Σ_k N_k p^k (1−p)^{n−k}); evaluate with EvalCrashPolynomial.
+func CrashPolynomial(sys Enumerable) ([]float64, error) { return measures.CrashPolynomial(sys) }
+
+// EvalCrashPolynomial evaluates a CrashPolynomial at probability p.
+func EvalCrashPolynomial(counts []float64, p float64) float64 {
+	return measures.EvalCrashPolynomial(counts, p)
+}
+
+// NewFPP returns the lines of the projective plane PG(2,q) as an explicit
+// regular quorum system (the optimal-load regular system of [NW98]).
+func NewFPP(q int) (*ExplicitSystem, error) {
+	plane, err := projective.New(q)
+	if err != nil {
+		return nil, err
+	}
+	return systems.NewFPP(plane)
+}
+
+// Compose returns the lazy composition S∘R of Definition 4.6; parameters
+// multiply per Theorem 4.7.
+func Compose(outer, inner System) *Composite { return compose.New(outer, inner) }
+
+// ComposeExplicit materializes S∘R for exact analysis of small systems.
+func ComposeExplicit(outer, inner Enumerable, limit int) (*ExplicitSystem, error) {
+	return compose.Explicit(outer, inner, limit)
+}
+
+// Boost applies the §6 boosting technique to any quorum system:
+// Boost(S, b) = S ∘ Thresh(3b+1 of 4b+1) is b-masking.
+func Boost(regular System, b int) (*Composite, error) { return systems.Boost(regular, b) }
+
+// Resilience returns f = MT(Q) − 1 (Definition 3.4).
+func Resilience(p Parameterized) int { return core.Resilience(p) }
+
+// MaskingBound applies Corollary 3.7: b = min{MT−1, (IS−1)/2}.
+func MaskingBound(p Parameterized) int { return core.MaskingBoundFromParams(p) }
+
+// IsBMasking checks the Lemma 3.6 conditions for a given b.
+func IsBMasking(p Parameterized, b int) bool { return core.IsBMasking(p, b) }
+
+// Load solves the Definition 3.8 linear program exactly for an explicit
+// system, returning L(Q) and an optimal access strategy.
+func Load(sys Enumerable) (float64, *Strategy, error) { return measures.Load(sys) }
+
+// LoadFair applies Proposition 3.9 (L = c/n for fair systems).
+func LoadFair(sys *ExplicitSystem) (float64, error) { return measures.LoadFair(sys) }
+
+// EmpiricalLoad estimates the busiest-server frequency of the system's
+// built-in strategy over the given number of sampled accesses.
+func EmpiricalLoad(sys Sampler, trials int, rng *rand.Rand) float64 {
+	return measures.EmpiricalLoad(sys, trials, rng)
+}
+
+// LoadLowerBound is Theorem 4.1: L(Q) ≥ max{(2b+1)/c, c/n}.
+func LoadLowerBound(n, b, c int) float64 { return measures.LoadLowerBound(n, b, c) }
+
+// GlobalLoadLowerBound is Corollary 4.2: L(Q) ≥ √((2b+1)/n).
+func GlobalLoadLowerBound(n, b int) float64 { return measures.GlobalLoadLowerBound(n, b) }
+
+// CrashProbabilityExact computes F_p (Definition 3.10) by enumerating all
+// failure configurations (universe ≤ 24 servers).
+func CrashProbabilityExact(sys Enumerable, p float64) (float64, error) {
+	return measures.CrashProbabilityExact(sys, p)
+}
+
+// CrashProbabilityMC estimates F_p by Monte Carlo for systems of any size.
+func CrashProbabilityMC(sys System, p float64, trials int, rng *rand.Rand) (MCResult, error) {
+	return measures.CrashProbabilityMC(sys, p, trials, rng)
+}
+
+// CrashLowerBoundMT is Proposition 4.3: F_p ≥ p^MT.
+func CrashLowerBoundMT(mt int, p float64) float64 { return measures.CrashLowerBoundMT(mt, p) }
+
+// CrashLowerBoundMasking is Proposition 4.4: F_p ≥ p^(c−2b).
+func CrashLowerBoundMasking(c, b int, p float64) float64 {
+	return measures.CrashLowerBoundMasking(c, b, p)
+}
+
+// CrashLowerBoundB is Proposition 4.5: F_p ≥ p^(b+1) when
+// MT ≤ (IS+1)/2 (check with Prop45Applies).
+func CrashLowerBoundB(b int, p float64) float64 { return measures.CrashLowerBoundB(b, p) }
+
+// Prop45Applies reports whether Proposition 4.5's precondition holds.
+func Prop45Applies(p Parameterized) bool { return measures.Prop45Applies(p) }
+
+// NewCluster builds a simulated server fleet running the [MR98a]
+// replicated-variable protocol over the given b-masking system.
+func NewCluster(system System, b int, seed int64) (*Cluster, error) {
+	return sim.NewCluster(system, b, seed)
+}
+
+// FabricatedValue is the marker value Byzantine fabricators return in the
+// simulation; reads must never surface it while faults stay within b.
+const FabricatedValue = sim.FabricatedValue

@@ -1,0 +1,130 @@
+// bqs-tables regenerates the paper's evaluation tables: Table 2 (the
+// properties of all six constructions at n ≈ 1024), the Section 8 worked
+// example (n ≈ 1024, p = 1/8), the load-vs-lower-bound sweep, the RT
+// critical probabilities, and the resilience–load tradeoff.
+//
+// Usage:
+//
+//	bqs-tables [-p 0.125] [-trials 4000] [-seed 1] [-only table2|section8|load|rt|tradeoff]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"bqs/internal/bench"
+	"bqs/internal/systems"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bqs-tables:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	p := flag.Float64("p", 0.125, "element crash probability for F_p columns")
+	trials := flag.Int("trials", 4000, "Monte Carlo trials where no closed form exists")
+	seed := flag.Int64("seed", 1, "random seed")
+	only := flag.String("only", "", "print a single table: table2|section8|load|rt|tradeoff|boosting|ablation")
+	flag.Parse()
+
+	want := func(name string) bool { return *only == "" || *only == name }
+
+	if want("table2") {
+		cfg := bench.DefaultTable2Config()
+		cfg.P = *p
+		cfg.Trials = *trials
+		cfg.Seed = *seed
+		rows, err := bench.Table2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Table 2: constructions at n ≈ 1024 ==")
+		fmt.Println(bench.FormatTable2(rows))
+	}
+
+	if want("section8") {
+		rows, err := bench.Section8(*trials, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Section 8 worked example ==")
+		fmt.Println(bench.FormatSection8(rows))
+	}
+
+	if want("load") {
+		rows, err := bench.LoadVsLowerBound()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Load vs Theorem 4.1 / Corollary 4.2 lower bounds ==")
+		fmt.Println(bench.FormatLoadRows(rows))
+	}
+
+	if want("rt") {
+		rows, err := bench.RTCriticalProbabilities()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== RT critical probabilities (Proposition 5.6) ==")
+		fmt.Println(bench.FormatRTCritical(rows))
+	}
+
+	if want("tradeoff") {
+		rows, err := bench.ResilienceLoadTradeoff()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Resilience–load tradeoff (Section 8) ==")
+		fmt.Println(bench.FormatTradeoff(rows))
+	}
+
+	if want("crash") {
+		rng := rand.New(rand.NewSource(*seed))
+		ps := []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.40}
+		rt, err := systems.NewRT(4, 3, 5)
+		if err != nil {
+			return err
+		}
+		rtRows, err := bench.CrashSweep(rt, func(p float64) (float64, float64, error) {
+			return rt.CrashProbability(p), 0, nil
+		}, ps)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Crash-probability sweeps vs lower bounds ==")
+		fmt.Println(bench.FormatCrashRows(rtRows))
+		mg, err := systems.NewMGrid(32, 15)
+		if err != nil {
+			return err
+		}
+		mgRows, err := bench.CrashSweep(mg, bench.MCEvaluator(mg, *trials, rng), ps)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatCrashRows(mgRows))
+	}
+
+	if want("boosting") {
+		rows, err := bench.BoostingTable(*p, *trials, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Boosting arbitrary regular systems (Section 6) ==")
+		fmt.Println(bench.FormatBoosting(rows))
+	}
+
+	if want("ablation") {
+		rows, err := bench.StrategyAblation(*trials, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Strategy ablation (Definition 3.8 is about strategies) ==")
+		fmt.Println(bench.FormatAblation(rows))
+	}
+	return nil
+}

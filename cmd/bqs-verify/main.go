@@ -1,0 +1,162 @@
+// bqs-verify builds a construction from command-line parameters and
+// verifies the paper's claims about it: the Lemma 3.6 masking conditions,
+// the Theorem 4.1 / Corollary 4.2 load bounds, the Propositions 4.3–4.5
+// crash bounds, and — when the instance is small enough to enumerate —
+// the closed-form parameters against exhaustive computation.
+//
+// Usage:
+//
+//	bqs-verify -system rt -k 4 -l 3 -h 2
+//	bqs-verify -system mgrid -d 7 -b 3
+//	bqs-verify -system threshold -n 13 -b 3
+//	bqs-verify -system boostfpp -q 3 -b 2
+//	bqs-verify -system mpath -d 9 -b 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"bqs"
+	"bqs/internal/core"
+	"bqs/internal/measures"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bqs-verify:", err)
+		os.Exit(1)
+	}
+}
+
+type verifiable interface {
+	bqs.System
+	bqs.Parameterized
+}
+
+// enumerable lets constructions expose an exhaustive cross-check.
+type enumerable interface {
+	Enumerate(limit int) (*core.ExplicitSystem, error)
+}
+
+func run() error {
+	system := flag.String("system", "mgrid", "threshold|grid|mgrid|rt|boostfpp|mpath|mpathedge")
+	n := flag.Int("n", 13, "universe size (threshold)")
+	d := flag.Int("d", 7, "grid side (grid/mgrid/mpath/mpathedge)")
+	b := flag.Int("b", 3, "masking target b")
+	k := flag.Int("k", 4, "RT block arity")
+	l := flag.Int("l", 3, "RT block quota")
+	h := flag.Int("h", 2, "RT depth")
+	q := flag.Int("q", 3, "projective plane order (boostfpp)")
+	p := flag.Float64("p", 0.125, "crash probability for bound checks")
+	trials := flag.Int("trials", 3000, "Monte Carlo trials")
+	flag.Parse()
+
+	var (
+		sys verifiable
+		err error
+	)
+	switch *system {
+	case "threshold":
+		sys, err = bqs.NewMaskingThreshold(*n, *b)
+	case "grid":
+		sys, err = bqs.NewGrid(*d, *b)
+	case "mgrid":
+		sys, err = bqs.NewMGrid(*d, *b)
+	case "rt":
+		sys, err = bqs.NewRT(*k, *l, *h)
+	case "boostfpp":
+		sys, err = bqs.NewBoostFPP(*q, *b)
+	case "mpath":
+		sys, err = bqs.NewMPath(*d, *b)
+	case "mpathedge":
+		sys, err = bqs.NewMPathEdge(*d, *b)
+	default:
+		return fmt.Errorf("unknown system %q", *system)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("== %s ==\n", sys.Name())
+	nn := sys.UniverseSize()
+	bb := bqs.MaskingBound(sys)
+	fmt.Printf("n=%d  c=%d  IS=%d  MT=%d\n", nn, sys.MinQuorumSize(), sys.MinIntersection(), sys.MinTransversal())
+	fmt.Printf("masking bound b=%d, resilience f=%d\n", bb, bqs.Resilience(sys))
+
+	check := func(name string, ok bool) {
+		status := "PASS"
+		if !ok {
+			status = "FAIL"
+		}
+		fmt.Printf("  [%s] %s\n", status, name)
+	}
+
+	check("Lemma 3.6: MT ≥ b+1 and IS ≥ 2b+1 at the declared bound",
+		bqs.IsBMasking(sys, bb))
+
+	// Load bounds.
+	type loaded interface{ Load() float64 }
+	if ld, ok := sys.(loaded); ok {
+		load := ld.Load()
+		check(fmt.Sprintf("Thm 4.1: L=%.4f ≥ max{(2b+1)/c, c/n}=%.4f", load,
+			bqs.LoadLowerBound(nn, bb, sys.MinQuorumSize())),
+			load >= bqs.LoadLowerBound(nn, bb, sys.MinQuorumSize())-1e-9)
+		check(fmt.Sprintf("Cor 4.2: L ≥ √((2b+1)/n)=%.4f", bqs.GlobalLoadLowerBound(nn, bb)),
+			load >= bqs.GlobalLoadLowerBound(nn, bb)-1e-9)
+	}
+
+	// Crash bounds via Monte Carlo.
+	rng := rand.New(rand.NewSource(1))
+	mc, err := bqs.CrashProbabilityMC(sys, *p, *trials, rng)
+	if err != nil {
+		return err
+	}
+	slack := 5*mc.StdErr + 1e-9
+	fmt.Printf("F_%.3f ≈ %.4g ± %.2g (%d trials)\n", *p, mc.Estimate, mc.StdErr, mc.Trials)
+	check("Prop 4.3: F_p ≥ p^MT",
+		mc.Estimate >= bqs.CrashLowerBoundMT(sys.MinTransversal(), *p)-slack)
+	check("Prop 4.4: F_p ≥ p^(c−2b)",
+		mc.Estimate >= bqs.CrashLowerBoundMasking(sys.MinQuorumSize(), bb, *p)-slack)
+	if bqs.Prop45Applies(sys) {
+		check("Prop 4.5: F_p ≥ p^(b+1)",
+			mc.Estimate >= bqs.CrashLowerBoundB(bb, *p)-slack)
+	}
+
+	// Exhaustive cross-check when the construction supports enumeration
+	// and the instance is small.
+	if en, ok := sys.(enumerable); ok {
+		ex, err := en.Enumerate(50000)
+		if err == nil {
+			check("enumeration: c matches", ex.MinQuorumSize() == sys.MinQuorumSize())
+			check("enumeration: IS matches", ex.MinIntersection() == sys.MinIntersection())
+			check("enumeration: MT matches", ex.MinTransversal() == sys.MinTransversal())
+			if ex.UniverseSize() <= measures.MaxExactUniverse {
+				exact, err := bqs.CrashProbabilityExact(ex, *p)
+				if err == nil {
+					fmt.Printf("exact F_%.3f = %.6g\n", *p, exact)
+				}
+			}
+		} else {
+			fmt.Printf("  [skip] enumeration: %v\n", err)
+		}
+	}
+
+	// Quorum-pair intersection audit (Definition 3.5, sampled).
+	audit := 0
+	for i := 0; i < 50; i++ {
+		q1, err1 := sys.SelectQuorum(rng, bqs.NewSet(nn))
+		q2, err2 := sys.SelectQuorum(rng, bqs.NewSet(nn))
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if q1.IntersectionCount(q2) >= 2*bb+1 {
+			audit++
+		}
+	}
+	check(fmt.Sprintf("Def 3.5: sampled quorum pairs intersect in ≥ 2b+1 (50/50 → %d/50)", audit),
+		audit == 50)
+	return nil
+}

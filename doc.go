@@ -1,0 +1,43 @@
+// Package bqs implements the Byzantine quorum systems of Malkhi, Reiter
+// and Wool, "The Load and Availability of Byzantine Quorum Systems"
+// (PODC 1997 / SIAM J. Computing).
+//
+// A b-masking quorum system is a collection of pairwise-intersecting
+// subsets (quorums) of a server universe in which every two quorums share
+// at least 2b+1 servers, so that a replicated service accessed through
+// quorums stays consistent despite b arbitrarily faulty (Byzantine)
+// servers, while remaining available through f ≥ b benign crashes. The
+// package provides:
+//
+//   - The four constructions introduced by the paper — M-Grid (§5.1),
+//     recursive thresholds RT(k,ℓ) (§5.2), boosted finite projective
+//     planes boostFPP (§6) and M-Path (§7) — plus the two earlier
+//     baselines it compares against (Threshold and Grid) and the regular
+//     systems used as composition inputs (Majority, NW-Grid, FPP).
+//   - The two quality measures the paper studies: load (Definition 3.8,
+//     computed exactly by LP, by the fair-system shortcut of
+//     Proposition 3.9, or empirically) and crash probability
+//     (Definition 3.10, computed exactly for small universes, by Monte
+//     Carlo for large ones, and in closed form where the paper derives
+//     one), together with the lower bounds of Theorem 4.1,
+//     Corollary 4.2 and Propositions 4.3–4.5.
+//   - Quorum composition S∘R (Definition 4.6) with the Theorem 4.7
+//     parameter algebra, and the boosting technique that turns any
+//     regular quorum system into a b-masking one.
+//   - A simulated replicated shared variable (the [MR98a] protocol) for
+//     exercising the constructions end to end under injected crash and
+//     Byzantine faults.
+//
+// # Quick start
+//
+//	sys, err := bqs.NewMGrid(7, 3) // Figure 1: n = 49, b = 3
+//	if err != nil { ... }
+//	fmt.Println(sys.MaskingBound(), bqs.Resilience(sys), sys.Load())
+//
+//	rng := rand.New(rand.NewSource(1))
+//	quorum, err := sys.SelectQuorum(rng, bqs.NewSet(49)) // no failures
+//
+// The experiment harness that regenerates every table and figure of the
+// paper lives in cmd/bqs-tables and cmd/bqs-figures; see EXPERIMENTS.md
+// for the measured-vs-paper comparison.
+package bqs

@@ -1,0 +1,64 @@
+// Quickstart: build the paper's Figure 1 system (M-Grid on 7×7 with b=3),
+// inspect its parameters against the paper's formulas, pick quorums under
+// failures, and measure load and availability.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"bqs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The Figure 1 instance: 49 servers in a 7×7 grid, masking b = 3
+	// Byzantine failures with quorums of 2 rows + 2 columns.
+	sys, err := bqs.NewMGrid(7, 3)
+	if err != nil {
+		return err
+	}
+	n := sys.UniverseSize()
+	fmt.Printf("system: %s\n", sys.Name())
+	fmt.Printf("  n  = %d servers\n", n)
+	fmt.Printf("  b  = %d Byzantine failures masked (Cor 3.7)\n", bqs.MaskingBound(sys))
+	fmt.Printf("  f  = %d crash failures survived (Def 3.4)\n", bqs.Resilience(sys))
+	fmt.Printf("  c  = %d (smallest quorum)\n", sys.MinQuorumSize())
+	fmt.Printf("  IS = %d (≥ 2b+1 = %d: the masking property)\n",
+		sys.MinIntersection(), 2*bqs.MaskingBound(sys)+1)
+	fmt.Printf("  L  = %.4f (lower bound √((2b+1)/n) = %.4f)\n",
+		sys.Load(), bqs.GlobalLoadLowerBound(n, bqs.MaskingBound(sys)))
+
+	// Pick a quorum with no failures, then with a few crashed servers.
+	rng := rand.New(rand.NewSource(1))
+	q, err := sys.SelectQuorum(rng, bqs.NewSet(n))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nquorum (no failures): %v\n", q)
+
+	dead := bqs.SetOf(0, 8, 16) // three crashed servers
+	q2, err := sys.SelectQuorum(rng, dead)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("quorum avoiding %v: intersects dead? %v\n", dead, q2.Intersects(dead))
+	fmt.Printf("two quorums intersect in %d ≥ 2b+1 = 7 servers\n", q.IntersectionCount(q2))
+
+	// Availability at 10%% element crash probability.
+	mc, err := bqs.CrashProbabilityMC(sys, 0.10, 20000, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nF_0.10 ≈ %.4f ± %.4f (Monte Carlo, %d trials)\n",
+		mc.Estimate, mc.StdErr, mc.Trials)
+	fmt.Printf("lower bound p^MT = %.2e (Prop 4.3)\n",
+		bqs.CrashLowerBoundMT(sys.MinTransversal(), 0.10))
+	return nil
+}

@@ -1,0 +1,78 @@
+// Register: a fault-tolerant replicated shared variable served through a
+// b-masking quorum system (the [MR98a] protocol the paper's constructions
+// were designed for). The demo injects Byzantine servers that fabricate
+// values with sky-high timestamps plus a few crashes, and shows reads
+// still returning the last written value — then pushes past 2b+1
+// fabricators to show exactly where the guarantee breaks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bqs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const b = 3
+	sys, err := bqs.NewMaskingThreshold(4*b+1, b) // 13 servers, quorums of 10
+	if err != nil {
+		return err
+	}
+	cluster, err := bqs.NewCluster(sys, b, 42)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cluster: %s, n=%d, masking b=%d, resilience f=%d\n",
+		sys.Name(), sys.UniverseSize(), b, bqs.Resilience(sys))
+
+	// Inject exactly b Byzantine fabricators and one crash.
+	if err := cluster.InjectFault(bqs.ByzantineFabricate, 2, 5, 11); err != nil {
+		return err
+	}
+	if err := cluster.InjectFault(bqs.Crashed, 7); err != nil {
+		return err
+	}
+	fmt.Println("faults: servers 2,5,11 fabricate; server 7 crashed")
+
+	writer := cluster.NewClient(1)
+	reader := cluster.NewClient(2)
+	for i := 1; i <= 3; i++ {
+		value := fmt.Sprintf("ledger-entry-%d", i)
+		if err := writer.Write(value); err != nil {
+			return err
+		}
+		got, err := reader.Read()
+		if err != nil {
+			return err
+		}
+		status := "OK"
+		if got.Value != value {
+			status = "VIOLATION"
+		}
+		fmt.Printf("  write %q → read %q  [%s]\n", value, got.Value, status)
+	}
+
+	// Now exceed the bound: 2b+1 colluding fabricators control every
+	// quorum intersection, and the fabricated value wins.
+	if err := cluster.InjectFault(bqs.ByzantineFabricate, 0, 1, 3, 4); err != nil {
+		return err
+	}
+	fmt.Println("\nescalating to 2b+1 = 7 fabricators (past the masking bound)...")
+	got, err := reader.Read()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  read now returns %q — masking fails beyond b, as Definition 3.5 predicts\n",
+		got.Value)
+	if got.Value != bqs.FabricatedValue {
+		fmt.Println("  (note: expected the fabricated value to win here)")
+	}
+	return nil
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"bqs/internal/bitset"
+)
+
+func sets(elems ...[]int) []bitset.Set {
+	out := make([]bitset.Set, len(elems))
+	for i, e := range elems {
+		out[i] = bitset.FromSlice(e)
+	}
+	return out
+}
+
+func majority3(t *testing.T) *ExplicitSystem {
+	t.Helper()
+	s, err := NewExplicit("maj3", 3, sets([]int{0, 1}, []int{0, 2}, []int{1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewExplicitValidation(t *testing.T) {
+	if _, err := NewExplicit("bad", 0, sets([]int{0})); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := NewExplicit("bad", 3, nil); err == nil {
+		t.Error("no quorums should fail")
+	}
+	if _, err := NewExplicit("bad", 3, sets([]int{})); err == nil {
+		t.Error("empty quorum should fail")
+	}
+	if _, err := NewExplicit("bad", 3, sets([]int{0, 5})); err == nil {
+		t.Error("quorum outside universe should fail")
+	}
+	_, err := NewExplicit("bad", 4, sets([]int{0, 1}, []int{2, 3}))
+	if !errors.Is(err, ErrNotIntersecting) {
+		t.Errorf("disjoint quorums err = %v, want ErrNotIntersecting", err)
+	}
+}
+
+func TestExplicitParamsMajority(t *testing.T) {
+	s := majority3(t)
+	if got := s.MinQuorumSize(); got != 2 {
+		t.Errorf("c = %d, want 2", got)
+	}
+	if got := s.MinIntersection(); got != 1 {
+		t.Errorf("IS = %d, want 1", got)
+	}
+	if got := s.MinTransversal(); got != 2 {
+		t.Errorf("MT = %d, want 2", got)
+	}
+	if got := Resilience(s); got != 1 {
+		t.Errorf("f = %d, want 1", got)
+	}
+	if got := s.MaskingBound(); got != 0 {
+		t.Errorf("b = %d, want 0 (regular system masks nothing)", got)
+	}
+}
+
+func TestExplicitParamsMaskingThreshold(t *testing.T) {
+	// 4-of-5 threshold: IS = 3, MT = 2 → b = min(1, 1) = 1.
+	n, k := 5, 4
+	var quorums []bitset.Set
+	for a := 0; a < n; a++ {
+		q := bitset.FromRange(0, n)
+		q.Remove(a)
+		_ = k
+		quorums = append(quorums, q)
+	}
+	s, err := NewExplicit("4of5", n, quorums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MinIntersection(); got != 3 {
+		t.Errorf("IS = %d, want 3", got)
+	}
+	if got := s.MinTransversal(); got != 2 {
+		t.Errorf("MT = %d, want 2", got)
+	}
+	if got := s.MaskingBound(); got != 1 {
+		t.Errorf("b = %d, want 1", got)
+	}
+	if !IsBMasking(s, 1) {
+		t.Error("4-of-5 should be 1-masking")
+	}
+	if IsBMasking(s, 2) {
+		t.Error("4-of-5 should not be 2-masking")
+	}
+}
+
+func TestSingleQuorumSystem(t *testing.T) {
+	s, err := NewExplicit("solo", 3, sets([]int{0, 1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MinIntersection() != 3 {
+		t.Errorf("IS of singleton list = %d, want 3", s.MinIntersection())
+	}
+	if s.MinTransversal() != 1 {
+		t.Errorf("MT = %d, want 1", s.MinTransversal())
+	}
+}
+
+func TestIsFair(t *testing.T) {
+	s := majority3(t)
+	size, deg, fair := s.IsFair()
+	if !fair || size != 2 || deg != 2 {
+		t.Errorf("majority-3 fairness = (%d,%d,%v), want (2,2,true)", size, deg, fair)
+	}
+	unfair, err := NewExplicit("wheel", 4, sets([]int{0, 1}, []int{0, 2}, []int{0, 3}, []int{1, 2, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, fair := unfair.IsFair(); fair {
+		t.Error("wheel should not be fair")
+	}
+}
+
+func TestDegree(t *testing.T) {
+	s := majority3(t)
+	for i := 0; i < 3; i++ {
+		if got := s.Degree(i); got != 2 {
+			t.Errorf("deg(%d) = %d, want 2", i, got)
+		}
+	}
+}
+
+func TestSelectQuorumAvoidsDead(t *testing.T) {
+	s := majority3(t)
+	rng := rand.New(rand.NewSource(1))
+	dead := bitset.FromSlice([]int{0})
+	for i := 0; i < 50; i++ {
+		q, err := s.SelectQuorum(rng, dead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Intersects(dead) {
+			t.Fatalf("selected quorum %v intersects dead set", q)
+		}
+	}
+	// Killing two elements leaves no live quorum in majority-3.
+	dead2 := bitset.FromSlice([]int{0, 1})
+	if _, err := s.SelectQuorum(rng, dead2); !errors.Is(err, ErrNoLiveQuorum) {
+		t.Errorf("err = %v, want ErrNoLiveQuorum", err)
+	}
+}
+
+func TestSelectQuorumUniformAmongSurvivors(t *testing.T) {
+	s := majority3(t)
+	rng := rand.New(rand.NewSource(7))
+	dead := bitset.FromSlice([]int{2})
+	// Only {0,1} survives.
+	for i := 0; i < 20; i++ {
+		q, err := s.SelectQuorum(rng, dead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !q.Equal(bitset.FromSlice([]int{0, 1})) {
+			t.Fatalf("got %v, want {0, 1}", q)
+		}
+	}
+}
+
+func TestIsTransversal(t *testing.T) {
+	s := majority3(t)
+	if !s.IsTransversal(bitset.FromSlice([]int{0, 1})) {
+		t.Error("{0,1} should be a transversal of majority-3")
+	}
+	if s.IsTransversal(bitset.FromSlice([]int{0})) {
+		t.Error("{0} should not be a transversal")
+	}
+}
+
+func TestMinTransversalBranchAndBound(t *testing.T) {
+	// Wheel: quorums {0,1},{0,2},{0,3},{1,2,3}. MT = 2 ({0, any rim}).
+	s, err := NewExplicit("wheel", 4, sets([]int{0, 1}, []int{0, 2}, []int{0, 3}, []int{1, 2, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MinTransversal(); got != 2 {
+		t.Errorf("wheel MT = %d, want 2", got)
+	}
+	// Grid 3×3 regular (row ∪ column): MT = 3 (a full row blocks... check:
+	// a transversal must hit every row∪column quorum; killing a full row
+	// hits all 9 quorums since every quorum contains a full row? No —
+	// quorum (r,c) = row r ∪ col c; a full dead row r0 intersects every
+	// quorum because col c crosses row r0. So MT ≤ 3. MT ≥ 3 because any 2
+	// elements miss some quorum. )
+	var quorums []bitset.Set
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			q := bitset.New(9)
+			for j := 0; j < 3; j++ {
+				q.Add(r*3 + j)
+				q.Add(j*3 + c)
+			}
+			quorums = append(quorums, q)
+		}
+	}
+	g, err := NewExplicit("grid3", 9, quorums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.MinTransversal(); got != 3 {
+		t.Errorf("3×3 grid MT = %d, want 3", got)
+	}
+}
+
+func TestStrategyValidation(t *testing.T) {
+	if _, err := NewStrategy([]float64{0.5, 0.6}); !errors.Is(err, ErrBadStrategy) {
+		t.Errorf("sum>1 err = %v", err)
+	}
+	if _, err := NewStrategy([]float64{-0.5, 1.5}); !errors.Is(err, ErrBadStrategy) {
+		t.Errorf("negative err = %v", err)
+	}
+	if _, err := NewStrategy([]float64{0.25, 0.75}); err != nil {
+		t.Errorf("valid strategy rejected: %v", err)
+	}
+}
+
+func TestUniformStrategyLoadsMajority(t *testing.T) {
+	s := majority3(t)
+	st := UniformStrategy(3)
+	loads := st.InducedLoads(s)
+	for u, l := range loads {
+		if math.Abs(l-2.0/3) > 1e-12 {
+			t.Errorf("l_w(%d) = %g, want 2/3", u, l)
+		}
+	}
+	if got := st.InducedSystemLoad(s); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("L_w = %g, want 2/3", got)
+	}
+}
+
+func TestStrategySampleDistribution(t *testing.T) {
+	st, err := NewStrategy([]float64{0.7, 0.2, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	counts := make([]int, 3)
+	trials := 100000
+	for i := 0; i < trials; i++ {
+		counts[st.Sample(rng)]++
+	}
+	want := []float64{0.7, 0.2, 0.1}
+	for i, c := range counts {
+		got := float64(c) / float64(trials)
+		if math.Abs(got-want[i]) > 0.01 {
+			t.Errorf("quorum %d sampled with frequency %g, want %g", i, got, want[i])
+		}
+	}
+}
+
+func TestMaskingBoundFromParamsCorollary37(t *testing.T) {
+	cases := []struct {
+		mt, is int
+		want   int
+	}{
+		{4, 9, 3},  // b = min(3, 4) = 3
+		{2, 9, 1},  // transversal-limited
+		{10, 3, 1}, // intersection-limited
+		{1, 1, 0},
+	}
+	for _, c := range cases {
+		p := fakeParams{mt: c.mt, is: c.is}
+		if got := MaskingBoundFromParams(p); got != c.want {
+			t.Errorf("MT=%d IS=%d: b = %d, want %d", c.mt, c.is, got, c.want)
+		}
+	}
+}
+
+type fakeParams struct{ c, is, mt int }
+
+func (f fakeParams) MinQuorumSize() int   { return f.c }
+func (f fakeParams) MinIntersection() int { return f.is }
+func (f fakeParams) MinTransversal() int  { return f.mt }

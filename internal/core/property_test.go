@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bqs/internal/bitset"
+)
+
+// randomSystem generates a random explicit quorum system over n ≤ 12
+// elements by drawing random sets and keeping those that intersect all
+// previously kept ones. Returns nil when fewer than 2 quorums survive.
+func randomSystem(rng *rand.Rand, n int) *ExplicitSystem {
+	var kept []bitset.Set
+	attempts := 30 + rng.Intn(30)
+	for a := 0; a < attempts; a++ {
+		q := bitset.New(n)
+		size := 1 + rng.Intn(n)
+		for _, e := range rng.Perm(n)[:size] {
+			q.Add(e)
+		}
+		ok := true
+		for _, k := range kept {
+			if !k.Intersects(q) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, q)
+		}
+	}
+	if len(kept) < 2 {
+		return nil
+	}
+	s, err := NewExplicit("random", n, kept)
+	if err != nil {
+		return nil
+	}
+	return s
+}
+
+// bruteForceMT finds the true minimum transversal by enumerating all 2^n
+// subsets.
+func bruteForceMT(s *ExplicitSystem) int {
+	n := s.UniverseSize()
+	best := n
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		t := bitset.New(n)
+		size := 0
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				t.Add(i)
+				size++
+			}
+		}
+		if size >= best {
+			continue
+		}
+		if s.IsTransversal(t) {
+			best = size
+		}
+	}
+	return best
+}
+
+func TestMinTransversalMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	checked := 0
+	for trial := 0; trial < 200 && checked < 60; trial++ {
+		n := 4 + rng.Intn(7) // 4..10
+		s := randomSystem(rng, n)
+		if s == nil {
+			continue
+		}
+		checked++
+		if got, want := s.MinTransversal(), bruteForceMT(s); got != want {
+			t.Fatalf("trial %d (n=%d, m=%d): B&B MT=%d, brute force=%d",
+				trial, n, s.NumQuorums(), got, want)
+		}
+	}
+	if checked < 30 {
+		t.Fatalf("only %d random systems generated", checked)
+	}
+}
+
+func TestMaskingBoundConsistency(t *testing.T) {
+	// For every random system: IsBMasking holds exactly up to MaskingBound.
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 60; trial++ {
+		s := randomSystem(rng, 4+rng.Intn(6))
+		if s == nil {
+			continue
+		}
+		b := s.MaskingBound()
+		if b >= 0 && !IsBMasking(s, b) {
+			t.Fatalf("system not masking at its own bound b=%d", b)
+		}
+		if IsBMasking(s, b+1) {
+			t.Fatalf("system masking beyond its bound b=%d", b)
+		}
+	}
+}
+
+func TestTransversalComplementOfMaskedQuorum(t *testing.T) {
+	// Proposition 4.4's structural step: for a b-masking system, removing
+	// any 2b elements from a smallest quorum leaves a transversal.
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 80; trial++ {
+		s := randomSystem(rng, 4+rng.Intn(6))
+		if s == nil {
+			continue
+		}
+		b := s.MaskingBound()
+		if b < 1 {
+			continue
+		}
+		// Find a smallest quorum.
+		var smallest bitset.Set
+		for _, q := range s.Quorums() {
+			if smallest.Empty() || q.Count() < smallest.Count() {
+				smallest = q
+			}
+		}
+		elems := smallest.Elements()
+		reduced := smallest.Clone()
+		for _, e := range elems[:2*b] {
+			reduced.Remove(e)
+		}
+		if !s.IsTransversal(reduced) {
+			t.Fatalf("Q minus 2b elements is not a transversal (b=%d, Q=%v)", b, smallest)
+		}
+	}
+}
+
+func TestQuickStrategyLoadIdentity(t *testing.T) {
+	// Σ_u l_w(u) = Σ_Q w(Q)·|Q| for any strategy (the bookkeeping identity
+	// inside Theorem 4.1's proof).
+	rng := rand.New(rand.NewSource(73))
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSystem(r, 4+r.Intn(6))
+		if s == nil {
+			return true
+		}
+		m := s.NumQuorums()
+		weights := make([]float64, m)
+		sum := 0.0
+		for i := range weights {
+			weights[i] = r.Float64()
+			sum += weights[i]
+		}
+		for i := range weights {
+			weights[i] /= sum
+		}
+		st, err := NewStrategy(weights)
+		if err != nil {
+			return false
+		}
+		lhs := 0.0
+		for _, l := range st.InducedLoads(s) {
+			lhs += l
+		}
+		rhs := 0.0
+		for i, q := range s.Quorums() {
+			rhs += st.Weight(i) * float64(q.Count())
+		}
+		return math.Abs(lhs-rhs) < 1e-9
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 80, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLoadAboveTheorem41(t *testing.T) {
+	// Every strategy's induced load respects the Theorem 4.1 bound
+	// max{(2b+1)/c, c/n} when the system is b-masking.
+	rng := rand.New(rand.NewSource(74))
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSystem(r, 4+r.Intn(6))
+		if s == nil {
+			return true
+		}
+		b := s.MaskingBound()
+		if b < 0 {
+			return true
+		}
+		st := UniformStrategy(s.NumQuorums())
+		induced := st.InducedSystemLoad(s)
+		c := s.MinQuorumSize()
+		n := s.UniverseSize()
+		bound := math.Max(float64(2*b+1)/float64(c), float64(c)/float64(n))
+		return induced >= bound-1e-9
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 80, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSelectQuorumSound(t *testing.T) {
+	// SelectQuorum either returns a quorum disjoint from dead or correctly
+	// reports that none exists.
+	rng := rand.New(rand.NewSource(75))
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(6)
+		s := randomSystem(r, n)
+		if s == nil {
+			return true
+		}
+		dead := bitset.New(n)
+		for i := 0; i < n; i++ {
+			if r.Intn(3) == 0 {
+				dead.Add(i)
+			}
+		}
+		q, err := s.SelectQuorum(r, dead)
+		surviving := false
+		for _, qq := range s.Quorums() {
+			if !qq.Intersects(dead) {
+				surviving = true
+				break
+			}
+		}
+		if err != nil {
+			return !surviving
+		}
+		return surviving && !q.Intersects(dead)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 120, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

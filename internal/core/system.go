@@ -1,0 +1,90 @@
+// Package core defines the quorum-system model of the paper: quorum
+// systems over a universe of servers (Definition 3.1), access strategies
+// (Definition 3.8), transversals and resilience (Definitions 3.3–3.4), and
+// b-masking quorum systems (Definition 3.5, via the sufficient conditions
+// of Lemma 3.6 and Corollary 3.7).
+//
+// Two kinds of systems coexist. Explicit systems materialize their quorum
+// list and support exact analysis (IS, MT, LP-optimal load, exact crash
+// probability). Implicit systems — M-Grid, M-Path, large compositions —
+// have combinatorially many quorums and instead implement quorum selection
+// under a failure pattern plus closed-form parameters, exactly the way the
+// paper analyzes them.
+package core
+
+import (
+	"errors"
+	"math/rand"
+
+	"bqs/internal/bitset"
+)
+
+// ErrNoLiveQuorum is returned by SelectQuorum when every quorum intersects
+// the dead set — the crash(Q) event of Definition 3.10.
+var ErrNoLiveQuorum = errors.New("core: no quorum survives the failure pattern")
+
+// System is the minimal behavior every quorum system implements.
+type System interface {
+	// Name identifies the construction (for tables and error messages).
+	Name() string
+	// UniverseSize returns n = |U|.
+	UniverseSize() int
+	// SelectQuorum returns a quorum disjoint from dead, or ErrNoLiveQuorum.
+	// Randomization (when the system has a choice) is driven by rng.
+	SelectQuorum(rng *rand.Rand, dead bitset.Set) (bitset.Set, error)
+}
+
+// Sampler is implemented by systems that carry an access strategy
+// (Definition 3.8) — a distribution over quorums used to balance load.
+// Constructions implement their load-optimal strategy from the paper.
+type Sampler interface {
+	System
+	// SampleQuorum draws a quorum from the system's access strategy,
+	// assuming no failures (the load is a failure-free, best-case measure).
+	SampleQuorum(rng *rand.Rand) bitset.Set
+}
+
+// Enumerable is implemented by systems whose quorum set is materialized.
+type Enumerable interface {
+	System
+	// Quorums returns the quorum list. Callers must not mutate the sets.
+	Quorums() []bitset.Set
+}
+
+// Parameterized exposes the combinatorial parameters the paper tabulates.
+// Implicit systems return closed-form values; ExplicitSystem computes them.
+type Parameterized interface {
+	// MinQuorumSize returns c(Q), the size of the smallest quorum.
+	MinQuorumSize() int
+	// MinIntersection returns IS(Q), the smallest |Q1 ∩ Q2|.
+	MinIntersection() int
+	// MinTransversal returns MT(Q); resilience is f = MT(Q) − 1.
+	MinTransversal() int
+}
+
+// Masking is implemented by b-masking quorum systems.
+type Masking interface {
+	System
+	// MaskingBound returns the largest b for which the system is b-masking.
+	MaskingBound() int
+}
+
+// Resilience returns f = MT(Q) − 1 (remark after Definition 3.4).
+func Resilience(p Parameterized) int { return p.MinTransversal() - 1 }
+
+// MaskingBoundFromParams applies Corollary 3.7:
+// b = min{MT(Q) − 1, (IS(Q) − 1)/2}.
+func MaskingBoundFromParams(p Parameterized) int {
+	byTransversal := p.MinTransversal() - 1
+	byIntersection := (p.MinIntersection() - 1) / 2
+	if byTransversal < byIntersection {
+		return byTransversal
+	}
+	return byIntersection
+}
+
+// IsBMasking checks Lemma 3.6's sufficient conditions for the given b:
+// MT(Q) ≥ b+1 and IS(Q) ≥ 2b+1.
+func IsBMasking(p Parameterized, b int) bool {
+	return p.MinTransversal() >= b+1 && p.MinIntersection() >= 2*b+1
+}

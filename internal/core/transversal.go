@@ -1,0 +1,83 @@
+package core
+
+import "bqs/internal/bitset"
+
+// minTransversal computes MT(Q) exactly: the minimum hitting set of the
+// quorum collection. Branch and bound: repeatedly pick an unhit quorum and
+// branch on which of its members joins the transversal. The smallest unhit
+// quorum is chosen at each step to keep the branching factor low; a greedy
+// upper bound prunes the search from the start.
+func minTransversal(quorums []bitset.Set, n int) int {
+	best := greedyTransversalSize(quorums, n)
+	var hit bitset.Set
+	best = branchTransversal(quorums, hit, 0, best)
+	return best
+}
+
+// branchTransversal returns the best transversal size found, given the
+// current partial transversal `hit` of size `size` and incumbent `best`.
+func branchTransversal(quorums []bitset.Set, hit bitset.Set, size, best int) int {
+	if size >= best {
+		return best
+	}
+	// Find the smallest quorum not yet hit.
+	target := -1
+	targetCount := -1
+	for i, q := range quorums {
+		if q.Intersects(hit) {
+			continue
+		}
+		c := q.Count()
+		if target < 0 || c < targetCount {
+			target, targetCount = i, c
+			if c == 1 {
+				break
+			}
+		}
+	}
+	if target < 0 {
+		return size // every quorum is hit
+	}
+	quorums[target].Range(func(e int) bool {
+		h := hit.Clone()
+		h.Add(e)
+		if got := branchTransversal(quorums, h, size+1, best); got < best {
+			best = got
+		}
+		return true
+	})
+	return best
+}
+
+// greedyTransversalSize returns the size of a greedy hitting set (max
+// coverage first), an upper bound that seeds the branch and bound.
+func greedyTransversalSize(quorums []bitset.Set, n int) int {
+	unhit := make([]bitset.Set, len(quorums))
+	copy(unhit, quorums)
+	size := 0
+	for len(unhit) > 0 {
+		// Pick the element covering the most unhit quorums.
+		counts := make([]int, n)
+		for _, q := range unhit {
+			q.Range(func(e int) bool {
+				counts[e]++
+				return true
+			})
+		}
+		bestE, bestC := 0, -1
+		for e, c := range counts {
+			if c > bestC {
+				bestE, bestC = e, c
+			}
+		}
+		size++
+		next := unhit[:0]
+		for _, q := range unhit {
+			if !q.Contains(bestE) {
+				next = append(next, q)
+			}
+		}
+		unhit = next
+	}
+	return size
+}

@@ -1,0 +1,227 @@
+// Package lattice implements the triangulated grid that underlies the
+// M-Path construction (Section 7). Vertices are the integer points
+// {(i,j) : 0 ≤ i,j < d}; edges connect (i,j)–(i,j+1), (i,j)–(i+1,j) and
+// (i,j)–(i−1,j+1) (the paper's triangulation). A site is open when the
+// corresponding server is alive; the package finds open left-right (LR)
+// and top-bottom (TB) paths, counts vertex-disjoint families of them via
+// max-flow (Menger's theorem), and samples site percolation for the
+// Appendix B experiments (critical probability 1/2 on this lattice).
+package lattice
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bqs/internal/bitset"
+	"bqs/internal/maxflow"
+)
+
+// Axis selects the traversal direction.
+type Axis int
+
+// Traversal directions.
+const (
+	LeftRight Axis = iota + 1 // paths from column 0 to column d−1
+	TopBottom                 // paths from row 0 to row d−1
+)
+
+// Grid is a d×d triangulated lattice.
+type Grid struct {
+	d int
+}
+
+// New returns a d×d grid; d must be at least 1.
+func New(d int) (*Grid, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("lattice: side %d must be at least 1", d)
+	}
+	return &Grid{d: d}, nil
+}
+
+// Side returns d; NumVertices returns d².
+func (g *Grid) Side() int        { return g.d }
+func (g *Grid) NumVertices() int { return g.d * g.d }
+
+// Index maps (row, col) to the vertex id row·d + col.
+func (g *Grid) Index(row, col int) int { return row*g.d + col }
+
+// Coords inverts Index.
+func (g *Grid) Coords(v int) (row, col int) { return v / g.d, v % g.d }
+
+// Neighbors appends the neighbors of (row, col) to buf and returns it.
+// The triangulation gives interior vertices degree 6.
+func (g *Grid) Neighbors(row, col int, buf [][2]int) [][2]int {
+	d := g.d
+	cand := [6][2]int{
+		{row, col + 1}, {row, col - 1},
+		{row + 1, col}, {row - 1, col},
+		{row - 1, col + 1}, {row + 1, col - 1},
+	}
+	for _, c := range cand {
+		if c[0] >= 0 && c[0] < d && c[1] >= 0 && c[1] < d {
+			buf = append(buf, c)
+		}
+	}
+	return buf
+}
+
+// HasOpenPath reports whether an open path crosses the grid along the axis
+// (every vertex on the path avoids the dead set). BFS, O(d²).
+func (g *Grid) HasOpenPath(axis Axis, dead bitset.Set) bool {
+	d := g.d
+	visited := bitset.New(d * d)
+	var queue []int
+	for k := 0; k < d; k++ {
+		var v int
+		if axis == LeftRight {
+			v = g.Index(k, 0)
+		} else {
+			v = g.Index(0, k)
+		}
+		if !dead.Contains(v) {
+			visited.Add(v)
+			queue = append(queue, v)
+		}
+	}
+	var buf [][2]int
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		row, col := g.Coords(v)
+		if (axis == LeftRight && col == d-1) || (axis == TopBottom && row == d-1) {
+			return true
+		}
+		buf = g.Neighbors(row, col, buf[:0])
+		for _, nb := range buf {
+			w := g.Index(nb[0], nb[1])
+			if !dead.Contains(w) && !visited.Contains(w) {
+				visited.Add(w)
+				queue = append(queue, w)
+			}
+		}
+	}
+	return false
+}
+
+// DisjointPaths returns up to maxPaths vertex-disjoint open crossing paths
+// along the axis, each as a sequence of vertex ids. It returns fewer when
+// the dead set does not admit maxPaths of them; the second result is the
+// attainable count (the full max-flow value, even when it exceeds
+// maxPaths... capped by construction at maxPaths via source capacities).
+func (g *Grid) DisjointPaths(axis Axis, dead bitset.Set, maxPaths int) ([][]int, error) {
+	if maxPaths < 1 {
+		return nil, fmt.Errorf("lattice: maxPaths %d must be positive", maxPaths)
+	}
+	d := g.d
+	// Vertex-split graph: in(v) = 2v, out(v) = 2v+1; a gate node throttles
+	// the source to maxPaths so the flow computation stops as soon as the
+	// requested number of disjoint paths is established.
+	src, gate, snk := 2*d*d, 2*d*d+1, 2*d*d+2
+	fg := maxflow.New(2*d*d + 3)
+	addEdge := func(u, v, c int) error { return fg.AddEdge(u, v, c) }
+	if err := addEdge(src, gate, maxPaths); err != nil {
+		return nil, err
+	}
+
+	for v := 0; v < d*d; v++ {
+		if dead.Contains(v) {
+			continue
+		}
+		if err := addEdge(2*v, 2*v+1, 1); err != nil {
+			return nil, err
+		}
+		row, col := g.Coords(v)
+		var buf [][2]int
+		buf = g.Neighbors(row, col, buf)
+		for _, nb := range buf {
+			w := g.Index(nb[0], nb[1])
+			if dead.Contains(w) {
+				continue
+			}
+			if err := addEdge(2*v+1, 2*w, 1); err != nil {
+				return nil, err
+			}
+		}
+		isStart := (axis == LeftRight && col == 0) || (axis == TopBottom && row == 0)
+		isEnd := (axis == LeftRight && col == d-1) || (axis == TopBottom && row == d-1)
+		if isStart {
+			if err := addEdge(gate, 2*v, 1); err != nil {
+				return nil, err
+			}
+		}
+		if isEnd {
+			if err := addEdge(2*v+1, snk, 1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := fg.MaxFlow(src, snk); err != nil {
+		return nil, err
+	}
+	raw := fg.DecomposePaths(src, snk)
+	paths := make([][]int, 0, len(raw))
+	for _, rp := range raw {
+		if len(paths) == maxPaths {
+			break
+		}
+		// rp = src, in(a), out(a), in(b), out(b), …, snk.
+		var p []int
+		for _, node := range rp[1 : len(rp)-1] {
+			if node%2 == 0 { // in-vertex
+				p = append(p, node/2)
+			}
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
+}
+
+// CountDisjointPaths returns the maximum number of vertex-disjoint open
+// crossing paths along the axis (unbounded by any quorum size).
+func (g *Grid) CountDisjointPaths(axis Axis, dead bitset.Set) (int, error) {
+	paths, err := g.DisjointPaths(axis, dead, g.d)
+	if err != nil {
+		return 0, err
+	}
+	return len(paths), nil
+}
+
+// SampleDead fills a fresh dead set where each site is closed independently
+// with probability p (site percolation).
+func (g *Grid) SampleDead(p float64, rng *rand.Rand) bitset.Set {
+	dead := bitset.New(g.d * g.d)
+	for v := 0; v < g.d*g.d; v++ {
+		if rng.Float64() < p {
+			dead.Add(v)
+		}
+	}
+	return dead
+}
+
+// CrossingProbability estimates P_p(LR_k): the probability that k
+// vertex-disjoint open crossings exist along the axis under site
+// percolation with closure probability p. This is the quantity Appendix B
+// bounds via Theorems B.1 and B.3.
+func (g *Grid) CrossingProbability(axis Axis, p float64, k, trials int, rng *rand.Rand) (float64, error) {
+	if trials <= 0 {
+		return 0, fmt.Errorf("lattice: trials must be positive")
+	}
+	success := 0
+	for t := 0; t < trials; t++ {
+		dead := g.SampleDead(p, rng)
+		if k == 1 {
+			if g.HasOpenPath(axis, dead) {
+				success++
+			}
+			continue
+		}
+		paths, err := g.DisjointPaths(axis, dead, k)
+		if err != nil {
+			return 0, err
+		}
+		if len(paths) >= k {
+			success++
+		}
+	}
+	return float64(success) / float64(trials), nil
+}

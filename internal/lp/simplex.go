@@ -1,0 +1,344 @@
+// Package lp implements a dense two-phase primal simplex solver for small
+// linear programs. The library uses it to compute the exact load of a
+// quorum system (Definition 3.8 of the paper), which is the optimum of the
+// min-max LP
+//
+//	minimize  t
+//	s.t.      Σ_Q w(Q) = 1
+//	          Σ_{Q ∋ u} w(Q) ≤ t   for every element u
+//	          w ≥ 0.
+//
+// The solver is general purpose (min c·x, Ax {≤,=,≥} b, x ≥ 0) so tests can
+// exercise it independently of quorum systems. Bland's rule guarantees
+// termination on the degenerate LPs that fair quorum systems produce.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is the direction of a linear constraint.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota + 1 // Σ a_j x_j ≤ b
+	GE                  // Σ a_j x_j ≥ b
+	EQ                  // Σ a_j x_j = b
+)
+
+// Errors reported by Solve.
+var (
+	ErrInfeasible = errors.New("lp: problem is infeasible")
+	ErrUnbounded  = errors.New("lp: problem is unbounded")
+)
+
+const (
+	eps          = 1e-9
+	maxPivots    = 200000
+	phase1Thresh = 1e-7
+)
+
+// Constraint is one row of the program: Coeffs·x Sense RHS.
+type Constraint struct {
+	Coeffs []float64
+	Sense  Sense
+	RHS    float64
+}
+
+// Problem is a minimization LP over non-negative variables.
+type Problem struct {
+	NumVars    int
+	Objective  []float64 // length NumVars; minimize Objective·x
+	Constraint []Constraint
+}
+
+// Solution holds an optimal basic feasible solution.
+type Solution struct {
+	X     []float64 // length NumVars
+	Value float64   // Objective·X
+}
+
+// tableau is the dense simplex tableau. Column layout:
+// [0, numCols) variables (structural, slack/surplus, artificial),
+// column numCols holds the RHS. Row numRows holds the objective row.
+type tableau struct {
+	a       [][]float64
+	basis   []int // basis[r] = variable basic in row r
+	rows    int
+	cols    int // number of variable columns (excl. RHS)
+	numArt  int
+	artBase int // first artificial column index
+}
+
+// Solve returns an optimal solution to p, or ErrInfeasible/ErrUnbounded.
+func Solve(p *Problem) (*Solution, error) {
+	if err := validate(p); err != nil {
+		return nil, err
+	}
+	m := len(p.Constraint)
+	n := p.NumVars
+
+	// Count slack/surplus columns and artificial columns.
+	numSlack := 0
+	for _, c := range p.Constraint {
+		if c.Sense == LE || c.Sense == GE {
+			numSlack++
+		}
+	}
+	// Pessimistically one artificial per row; unneeded ones are skipped.
+	t := &tableau{
+		rows:    m,
+		cols:    n + numSlack, // artificials appended below
+		artBase: n + numSlack,
+	}
+
+	// Build rows with b ≥ 0.
+	rowsData := make([][]float64, m)
+	slackIdx := n
+	basis := make([]int, m)
+	var artRows []int
+	for i, c := range p.Constraint {
+		row := make([]float64, n+numSlack+m+1)
+		copy(row, c.Coeffs)
+		rhs := c.RHS
+		sense := c.Sense
+		if rhs < 0 {
+			for j := range row[:n] {
+				row[j] = -row[j]
+			}
+			rhs = -rhs
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		switch sense {
+		case LE:
+			row[slackIdx] = 1
+			basis[i] = slackIdx
+			slackIdx++
+		case GE:
+			row[slackIdx] = -1
+			slackIdx++
+			artRows = append(artRows, i)
+			basis[i] = -1
+		case EQ:
+			artRows = append(artRows, i)
+			basis[i] = -1
+		}
+		row[len(row)-1] = rhs
+		rowsData[i] = row
+	}
+
+	// Assign artificial columns.
+	art := t.artBase
+	for _, r := range artRows {
+		rowsData[r][art] = 1
+		basis[r] = art
+		art++
+	}
+	t.numArt = art - t.artBase
+	totalCols := t.artBase + t.numArt
+	// Trim rows to actual width (vars + slack + art + rhs).
+	for i := range rowsData {
+		row := rowsData[i]
+		trimmed := make([]float64, totalCols+1)
+		copy(trimmed, row[:totalCols])
+		trimmed[totalCols] = row[len(row)-1]
+		rowsData[i] = trimmed
+	}
+	t.a = rowsData
+	t.cols = totalCols
+	t.basis = basis
+
+	// Phase 1: minimize sum of artificials.
+	if t.numArt > 0 {
+		obj := make([]float64, t.cols)
+		for j := t.artBase; j < t.artBase+t.numArt; j++ {
+			obj[j] = 1
+		}
+		val, err := t.optimize(obj)
+		if err != nil {
+			// Phase-1 objective is bounded below by 0, so unbounded cannot
+			// occur; any error is internal.
+			return nil, err
+		}
+		if val > phase1Thresh {
+			return nil, ErrInfeasible
+		}
+		t.driveOutArtificials()
+	}
+
+	// Phase 2: minimize the real objective with artificial columns frozen.
+	obj := make([]float64, t.cols)
+	copy(obj, p.Objective)
+	for j := t.artBase; j < t.artBase+t.numArt; j++ {
+		obj[j] = math.Inf(1) // sentinel: never enter
+	}
+	val, err := t.optimize(obj)
+	if err != nil {
+		return nil, err
+	}
+
+	x := make([]float64, p.NumVars)
+	for r, b := range t.basis {
+		if b < p.NumVars {
+			x[b] = t.a[r][t.cols]
+		}
+	}
+	return &Solution{X: x, Value: val}, nil
+}
+
+func validate(p *Problem) error {
+	if p.NumVars <= 0 {
+		return fmt.Errorf("lp: NumVars = %d, must be positive", p.NumVars)
+	}
+	if len(p.Objective) != p.NumVars {
+		return fmt.Errorf("lp: objective has %d coefficients, want %d", len(p.Objective), p.NumVars)
+	}
+	for i, c := range p.Constraint {
+		if len(c.Coeffs) != p.NumVars {
+			return fmt.Errorf("lp: constraint %d has %d coefficients, want %d", i, len(c.Coeffs), p.NumVars)
+		}
+		if c.Sense != LE && c.Sense != GE && c.Sense != EQ {
+			return fmt.Errorf("lp: constraint %d has invalid sense %d", i, c.Sense)
+		}
+	}
+	return nil
+}
+
+// optimize runs primal simplex with Bland's rule on the current basis for
+// the given objective (length t.cols; +Inf marks forbidden columns).
+// It returns the optimal objective value.
+func (t *tableau) optimize(obj []float64) (float64, error) {
+	// Reduced-cost row: z_j - c_j computed from scratch each iteration is
+	// O(rows·cols); we instead maintain it incrementally via an explicit
+	// objective row seeded with -c and updated by pivots.
+	z := make([]float64, t.cols+1)
+	for j := 0; j < t.cols; j++ {
+		if math.IsInf(obj[j], 1) {
+			z[j] = 0 // forbidden columns never examined for entering
+		} else {
+			z[j] = -obj[j]
+		}
+	}
+	// Price out the initial basis so reduced costs of basic vars are 0.
+	for r, b := range t.basis {
+		cb := 0.0
+		if !math.IsInf(obj[b], 1) {
+			cb = obj[b]
+		}
+		if cb == 0 {
+			continue
+		}
+		for j := 0; j <= t.cols; j++ {
+			z[j] += cb * t.a[r][j]
+		}
+	}
+
+	forbidden := func(j int) bool { return math.IsInf(obj[j], 1) }
+
+	for iter := 0; iter < maxPivots; iter++ {
+		// Bland's rule: entering variable = lowest index with positive
+		// reduced cost (we maximize -objective internally: pick z_j > eps).
+		enter := -1
+		for j := 0; j < t.cols; j++ {
+			if forbidden(j) {
+				continue
+			}
+			if z[j] > eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			// Optimal. z[rhs] was seeded with c_B·b and updated by
+			// ΔV = −(z_enter−c_enter)·θ on every pivot, so it holds the
+			// current objective value directly.
+			return z[t.cols], nil
+		}
+		// Ratio test with Bland's tie-break on basis variable index.
+		leave := -1
+		best := math.Inf(1)
+		for r := 0; r < t.rows; r++ {
+			arj := t.a[r][enter]
+			if arj > eps {
+				ratio := t.a[r][t.cols] / arj
+				if ratio < best-eps || (math.Abs(ratio-best) <= eps &&
+					(leave < 0 || t.basis[r] < t.basis[leave])) {
+					best = ratio
+					leave = r
+				}
+			}
+		}
+		if leave < 0 {
+			return 0, ErrUnbounded
+		}
+		t.pivot(leave, enter, z)
+	}
+	return 0, errors.New("lp: pivot limit exceeded (cycling?)")
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col), updating the basis
+// bookkeeping and the objective row z alongside.
+func (t *tableau) pivot(row, col int, z []float64) {
+	t.basis[row] = col
+	piv := t.a[row][col]
+	inv := 1 / piv
+	for j := 0; j <= t.cols; j++ {
+		t.a[row][j] *= inv
+	}
+	t.a[row][col] = 1 // exact
+	for r := 0; r < t.rows; r++ {
+		if r == row {
+			continue
+		}
+		f := t.a[r][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= t.cols; j++ {
+			t.a[r][j] -= f * t.a[row][j]
+		}
+		t.a[r][col] = 0 // exact
+	}
+	f := z[col]
+	if f != 0 {
+		for j := 0; j <= t.cols; j++ {
+			z[j] -= f * t.a[row][j]
+		}
+		z[col] = 0
+	}
+}
+
+// driveOutArtificials pivots any artificial variable that remains basic at
+// level zero out of the basis (or leaves it if its row is all zeros, which
+// indicates a redundant constraint).
+func (t *tableau) driveOutArtificials() {
+	for r := 0; r < t.rows; r++ {
+		if t.basis[r] < t.artBase {
+			continue
+		}
+		// Find a non-artificial column with nonzero coefficient to pivot in.
+		pivoted := false
+		for j := 0; j < t.artBase; j++ {
+			if math.Abs(t.a[r][j]) > eps {
+				dummy := make([]float64, t.cols+1)
+				t.pivot(r, j, dummy)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row: zero it so it cannot affect later pivots.
+			for j := 0; j <= t.cols; j++ {
+				t.a[r][j] = 0
+			}
+		}
+	}
+}

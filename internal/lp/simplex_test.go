@@ -1,0 +1,255 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestBasicMinimization(t *testing.T) {
+	// minimize -x - 2y s.t. x + y <= 4, x <= 2, y <= 3 → x=1? optimum at
+	// (x=1,y=3): value -7. Check: x+y<=4 binds with y=3 → x=1.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{-1, -2},
+		Constraint: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: LE, RHS: 4},
+			{Coeffs: []float64{1, 0}, Sense: LE, RHS: 2},
+			{Coeffs: []float64{0, 1}, Sense: LE, RHS: 3},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Value, -7) {
+		t.Fatalf("value = %g, want -7 (x=%v)", s.Value, s.X)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// minimize x + y s.t. x + 2y = 3, x,y >= 0 → y=1.5, x=0, value 1.5.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraint: []Constraint{
+			{Coeffs: []float64{1, 2}, Sense: EQ, RHS: 3},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Value, 1.5) {
+		t.Fatalf("value = %g, want 1.5", s.Value)
+	}
+}
+
+func TestGEConstraints(t *testing.T) {
+	// Diet-style LP: minimize 3x + 2y s.t. x + y >= 4, x + 3y >= 6.
+	// Vertices: (4,0)→12, (3,1)→11, (0,4)→8; optimum is (0,4) with value 8.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{3, 2},
+		Constraint: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: GE, RHS: 4},
+			{Coeffs: []float64{1, 3}, Sense: GE, RHS: 6},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Value, 8) {
+		t.Fatalf("value = %g, want 8 (x=%v)", s.Value, s.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Constraint: []Constraint{
+			{Coeffs: []float64{1}, Sense: LE, RHS: 1},
+			{Coeffs: []float64{1}, Sense: GE, RHS: 2},
+		},
+	}
+	if _, err := Solve(p); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{-1},
+		Constraint: []Constraint{
+			{Coeffs: []float64{1}, Sense: GE, RHS: 1},
+		},
+	}
+	if _, err := Solve(p); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// x - y <= -1 with minimize x+y → y >= x+1, so (0,1), value 1.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraint: []Constraint{
+			{Coeffs: []float64{1, -1}, Sense: LE, RHS: -1},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Value, 1) {
+		t.Fatalf("value = %g, want 1 (x=%v)", s.Value, s.X)
+	}
+}
+
+func TestRedundantEquality(t *testing.T) {
+	// Duplicated equality rows must not break phase 1.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 2},
+		Constraint: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: EQ, RHS: 2},
+			{Coeffs: []float64{2, 2}, Sense: EQ, RHS: 4},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Value, 2) { // x=2, y=0
+		t.Fatalf("value = %g, want 2", s.Value)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Solve(&Problem{NumVars: 0}); err == nil {
+		t.Error("NumVars=0 should error")
+	}
+	if _, err := Solve(&Problem{NumVars: 2, Objective: []float64{1}}); err == nil {
+		t.Error("short objective should error")
+	}
+	p := &Problem{
+		NumVars:    1,
+		Objective:  []float64{1},
+		Constraint: []Constraint{{Coeffs: []float64{1, 2}, Sense: LE, RHS: 1}},
+	}
+	if _, err := Solve(p); err == nil {
+		t.Error("mismatched constraint width should error")
+	}
+	p2 := &Problem{
+		NumVars:    1,
+		Objective:  []float64{1},
+		Constraint: []Constraint{{Coeffs: []float64{1}, Sense: 0, RHS: 1}},
+	}
+	if _, err := Solve(p2); err == nil {
+		t.Error("invalid sense should error")
+	}
+}
+
+// loadLP builds the Definition 3.8 load LP for an explicit quorum system
+// given as element lists, mirroring what internal/measures does.
+func loadLP(n int, quorums [][]int) *Problem {
+	m := len(quorums)
+	// Variables: w_0..w_{m-1}, t.
+	obj := make([]float64, m+1)
+	obj[m] = 1
+	cons := make([]Constraint, 0, n+1)
+	sum := make([]float64, m+1)
+	for j := 0; j < m; j++ {
+		sum[j] = 1
+	}
+	cons = append(cons, Constraint{Coeffs: sum, Sense: EQ, RHS: 1})
+	for u := 0; u < n; u++ {
+		row := make([]float64, m+1)
+		for j, q := range quorums {
+			for _, e := range q {
+				if e == u {
+					row[j] = 1
+					break
+				}
+			}
+		}
+		row[m] = -1
+		cons = append(cons, Constraint{Coeffs: row, Sense: LE, RHS: 0})
+	}
+	return &Problem{NumVars: m + 1, Objective: obj, Constraint: cons}
+}
+
+func TestLoadLPMajority3(t *testing.T) {
+	// Majority over 3 elements: quorums of size 2, load = 2/3 (Prop 3.9).
+	q := [][]int{{0, 1}, {0, 2}, {1, 2}}
+	s, err := Solve(loadLP(3, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Value, 2.0/3) {
+		t.Fatalf("majority-3 load = %g, want 2/3", s.Value)
+	}
+}
+
+func TestLoadLPSingleton(t *testing.T) {
+	s, err := Solve(loadLP(1, [][]int{{0}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Value, 1) {
+		t.Fatalf("singleton load = %g, want 1", s.Value)
+	}
+}
+
+func TestLoadLPFano(t *testing.T) {
+	// Fano plane (FPP of order 2): 7 points, 7 lines of size 3. Fair, so
+	// load = c/n = 3/7 (Prop 3.9), matching NW98's optimal 1/√n ≈ q+1/n.
+	lines := [][]int{
+		{0, 1, 2}, {0, 3, 4}, {0, 5, 6},
+		{1, 3, 5}, {1, 4, 6}, {2, 3, 6}, {2, 4, 5},
+	}
+	s, err := Solve(loadLP(7, lines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Value, 3.0/7) {
+		t.Fatalf("Fano load = %g, want 3/7", s.Value)
+	}
+}
+
+func TestLoadLPWheel(t *testing.T) {
+	// Wheel system over n=5: hub {0} with spokes {0,i} and rim {1,2,3,4}.
+	// Quorums: {0,1},{0,2},{0,3},{0,4},{1,2,3,4}. Known load: the optimal
+	// strategy mixes hub-spoke and rim quorums; LP should find ≤ 1/2 on the
+	// hub. Optimal load for wheel is 1/2 (put weight 1/2 on rim, 1/8 each
+	// spoke: hub load 1/2, rim element load 1/2+1/8 = 5/8 — not balanced;
+	// better: weight x on rim, (1-x)/4 per spoke: hub = 1-x, rim elem =
+	// x + (1-x)/4. Equalize: 1-x = x + (1-x)/4 → 3(1-x)/4 = x → x = 3/7,
+	// load = 4/7.
+	q := [][]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2, 3, 4}}
+	s, err := Solve(loadLP(5, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Value, 4.0/7) {
+		t.Fatalf("wheel load = %g, want 4/7", s.Value)
+	}
+}
+
+func TestLoadLPUnbalancedSystem(t *testing.T) {
+	// A system where one element is in every quorum: load must be 1 on it.
+	q := [][]int{{0, 1}, {0, 2}}
+	s, err := Solve(loadLP(3, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Value, 1) {
+		t.Fatalf("dictator load = %g, want 1", s.Value)
+	}
+}

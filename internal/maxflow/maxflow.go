@@ -1,0 +1,195 @@
+// Package maxflow implements Dinic's maximum-flow algorithm on small
+// integer-capacity graphs. The M-Path construction (Section 7 of the paper)
+// needs it twice: a quorum is √(2b+1) vertex-disjoint left-right paths plus
+// √(2b+1) vertex-disjoint top-bottom paths, and by Menger's theorem the
+// maximum number of vertex-disjoint open paths equals the max-flow of the
+// vertex-split lattice with unit vertex capacities.
+package maxflow
+
+import "fmt"
+
+type edge struct {
+	to, rev int
+	cap     int
+	isRev   bool // true for the auto-created residual counterpart
+}
+
+// Graph is a flow network under construction. Vertices are integers in
+// [0, n). The zero value is not usable; create graphs with New.
+type Graph struct {
+	n   int
+	adj [][]edge
+
+	// scratch for Dinic
+	level []int
+	iter  []int
+}
+
+// New returns an empty flow network on n vertices.
+func New(n int) *Graph {
+	return &Graph{
+		n:     n,
+		adj:   make([][]edge, n),
+		level: make([]int, n),
+		iter:  make([]int, n),
+	}
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return g.n }
+
+// AddEdge inserts a directed edge u→v with the given capacity (and the
+// implicit residual reverse edge of capacity 0).
+func (g *Graph) AddEdge(u, v, capacity int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("maxflow: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if capacity < 0 {
+		return fmt.Errorf("maxflow: negative capacity %d", capacity)
+	}
+	g.adj[u] = append(g.adj[u], edge{to: v, rev: len(g.adj[v]), cap: capacity})
+	g.adj[v] = append(g.adj[v], edge{to: u, rev: len(g.adj[u]) - 1, cap: 0, isRev: true})
+	return nil
+}
+
+// MaxFlow computes the maximum s→t flow, mutating residual capacities.
+// Calling it twice continues from the residual network (returns 0 more).
+func (g *Graph) MaxFlow(s, t int) (int, error) {
+	if s < 0 || s >= g.n || t < 0 || t >= g.n {
+		return 0, fmt.Errorf("maxflow: terminal out of range")
+	}
+	if s == t {
+		return 0, fmt.Errorf("maxflow: source equals sink")
+	}
+	flow := 0
+	for g.bfs(s, t) {
+		for i := range g.iter {
+			g.iter[i] = 0
+		}
+		for {
+			f := g.dfs(s, t, int(^uint(0)>>1))
+			if f == 0 {
+				break
+			}
+			flow += f
+		}
+	}
+	return flow, nil
+}
+
+func (g *Graph) bfs(s, t int) bool {
+	for i := range g.level {
+		g.level[i] = -1
+	}
+	queue := make([]int, 0, g.n)
+	queue = append(queue, s)
+	g.level[s] = 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adj[u] {
+			if e.cap > 0 && g.level[e.to] < 0 {
+				g.level[e.to] = g.level[u] + 1
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return g.level[t] >= 0
+}
+
+func (g *Graph) dfs(u, t, f int) int {
+	if u == t {
+		return f
+	}
+	for ; g.iter[u] < len(g.adj[u]); g.iter[u]++ {
+		e := &g.adj[u][g.iter[u]]
+		if e.cap > 0 && g.level[e.to] == g.level[u]+1 {
+			m := f
+			if e.cap < m {
+				m = e.cap
+			}
+			d := g.dfs(e.to, t, m)
+			if d > 0 {
+				e.cap -= d
+				g.adj[e.to][e.rev].cap += d
+				return d
+			}
+		}
+	}
+	return 0
+}
+
+// DecomposePaths extracts s→t paths from the current integral flow (call
+// after MaxFlow). Each path is a vertex sequence s, …, t; the number of
+// returned paths equals the flow value. Antiparallel flows are cancelled
+// first, so graphs built with explicit edges in both directions decompose
+// cleanly. Flow cycles not incident to s are ignored, as flow decomposition
+// permits.
+func (g *Graph) DecomposePaths(s, t int) [][]int {
+	// Net shipped flow per ordered vertex pair. The shipped flow on a
+	// forward edge equals the residual capacity of its auto-created
+	// reverse edge (which started at 0).
+	net := make(map[[2]int]int)
+	for u := range g.adj {
+		for _, e := range g.adj[u] {
+			if e.isRev {
+				continue
+			}
+			if f := g.adj[e.to][e.rev].cap; f > 0 {
+				net[[2]int{u, e.to}] += f
+			}
+		}
+	}
+	// Cancel antiparallel flow so walks cannot bounce between two vertices.
+	for key, f := range net {
+		rkey := [2]int{key[1], key[0]}
+		if rf := net[rkey]; f > 0 && rf > 0 {
+			c := f
+			if rf < c {
+				c = rf
+			}
+			net[key] -= c
+			net[rkey] -= c
+		}
+	}
+	succ := make(map[int][][2]int) // vertex → outgoing keys with flow
+	for key, f := range net {
+		if f > 0 {
+			succ[key[0]] = append(succ[key[0]], key)
+		}
+	}
+
+	take := func(u int) (int, bool) {
+		for _, key := range succ[u] {
+			if net[key] > 0 {
+				net[key]--
+				return key[1], true
+			}
+		}
+		return 0, false
+	}
+
+	var paths [][]int
+	for {
+		v, ok := take(s)
+		if !ok {
+			return paths
+		}
+		path := []int{s, v}
+		// Flow conservation guarantees an exit from every interior vertex;
+		// capacities strictly decrease, so the walk terminates.
+		for v != t {
+			next, ok := take(v)
+			if !ok {
+				// Dead end: can only happen if flow is inconsistent;
+				// abandon this partial path rather than loop.
+				break
+			}
+			v = next
+			path = append(path, v)
+		}
+		if v == t {
+			paths = append(paths, path)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"bqs/internal/bitset"
+	"bqs/internal/core"
+)
+
+// Cluster is a set of servers fronted by a b-masking quorum system.
+type Cluster struct {
+	system  core.System
+	b       int
+	servers []*Server
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	dropRate float64 // per-message response-loss probability
+}
+
+// NewCluster builds a cluster with one server per universe element. b is
+// the masking bound the protocol should defend (usually the system's
+// MaskingBound).
+func NewCluster(system core.System, b int, seed int64) (*Cluster, error) {
+	if b < 0 {
+		return nil, fmt.Errorf("sim: masking bound %d must be non-negative", b)
+	}
+	if m, ok := system.(core.Masking); ok && m.MaskingBound() < b {
+		return nil, fmt.Errorf("sim: system %s masks only %d < requested b=%d",
+			system.Name(), m.MaskingBound(), b)
+	}
+	n := system.UniverseSize()
+	servers := make([]*Server, n)
+	for i := range servers {
+		servers[i] = NewServer(i)
+	}
+	return &Cluster{
+		system:  system,
+		b:       b,
+		servers: servers,
+		rng:     rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// System returns the quorum system; B returns the masking bound; N the
+// number of servers.
+func (c *Cluster) System() core.System { return c.system }
+func (c *Cluster) B() int              { return c.b }
+func (c *Cluster) N() int              { return len(c.servers) }
+
+// Server returns server i (for fault injection and assertions).
+func (c *Cluster) Server(i int) *Server { return c.servers[i] }
+
+// InjectFault sets the behavior of the given servers.
+func (c *Cluster) InjectFault(behavior Behavior, ids ...int) error {
+	for _, id := range ids {
+		if id < 0 || id >= len(c.servers) {
+			return fmt.Errorf("sim: server id %d out of range [0,%d)", id, len(c.servers))
+		}
+		c.servers[id].SetBehavior(behavior)
+	}
+	return nil
+}
+
+// FaultCounts returns (crashed, byzantine) tallies.
+func (c *Cluster) FaultCounts() (crashed, byzantine int) {
+	for _, s := range c.servers {
+		switch b := s.Behavior(); {
+		case b == Crashed:
+			crashed++
+		case b.IsByzantine():
+			byzantine++
+		}
+	}
+	return crashed, byzantine
+}
+
+// SetDropRate makes the network lossy: every response is independently
+// lost with probability p, which clients observe exactly like a crash
+// (and handle by suspecting the server and re-selecting quorums). Use
+// modest rates; suspected servers are never rehabilitated, so a very
+// lossy network eventually exhausts the quorum space, as a real
+// fail-stop detector would.
+func (c *Cluster) SetDropRate(p float64) error {
+	if p < 0 || p > 1 {
+		return fmt.Errorf("sim: drop rate %g outside [0,1]", p)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dropRate = p
+	return nil
+}
+
+// dropped rolls the message-loss dice.
+func (c *Cluster) dropped() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropRate > 0 && c.rng.Float64() < c.dropRate
+}
+
+// readFrom probes server i, subject to network loss.
+func (c *Cluster) readFrom(i, readerID int) (TaggedValue, bool) {
+	if c.dropped() {
+		return TaggedValue{}, false
+	}
+	return c.servers[i].HandleRead(readerID)
+}
+
+// writeTo stores at server i, subject to network loss.
+func (c *Cluster) writeTo(i int, tv TaggedValue) bool {
+	if c.dropped() {
+		return false
+	}
+	return c.servers[i].HandleWrite(tv)
+}
+
+// pickQuorum selects a quorum avoiding the suspected-dead set.
+func (c *Cluster) pickQuorum(suspected bitset.Set) (bitset.Set, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.system.SelectQuorum(c.rng, suspected)
+}
+
+// Client accesses the replicated variable through quorums.
+type Client struct {
+	id        int
+	cluster   *Cluster
+	suspected bitset.Set // servers observed unresponsive
+	// MaxRetries bounds quorum re-selection on unresponsiveness.
+	MaxRetries int
+}
+
+// Protocol errors.
+var (
+	// ErrNoCandidate means no value was vouched for by b+1 quorum members
+	// (possible under concurrency or excessive faults).
+	ErrNoCandidate = errors.New("sim: read found no value vouched by b+1 servers")
+	// ErrRetriesExhausted means live quorums kept containing unresponsive
+	// servers beyond the retry budget.
+	ErrRetriesExhausted = errors.New("sim: retries exhausted")
+)
+
+// NewClient attaches a client to the cluster.
+func (c *Cluster) NewClient(id int) *Client {
+	return &Client{id: id, cluster: c, suspected: bitset.New(c.N()), MaxRetries: 32}
+}
+
+// quorumOrForgive picks a quorum avoiding suspects; when suspicion has
+// grown so large that no quorum survives, it forgives all suspects once
+// and retries — transient message loss must not permanently shrink the
+// live set (crashed servers will simply be re-suspected).
+func (cl *Client) quorumOrForgive() (bitset.Set, error) {
+	q, err := cl.cluster.pickQuorum(cl.suspected)
+	if err == nil {
+		return q, nil
+	}
+	if errors.Is(err, core.ErrNoLiveQuorum) && !cl.suspected.Empty() {
+		cl.suspected = bitset.New(cl.cluster.N())
+		return cl.cluster.pickQuorum(cl.suspected)
+	}
+	return bitset.Set{}, err
+}
+
+// Write performs the [MR98a] write: obtain a timestamp greater than any in
+// some quorum, then store (value, ts) at every member of a quorum.
+func (cl *Client) Write(value string) error {
+	// Phase 1: read timestamps from a quorum.
+	maxTS, err := cl.maxTimestamp()
+	if err != nil {
+		return fmt.Errorf("sim: write: %w", err)
+	}
+	tv := TaggedValue{Value: value, TS: Timestamp{Seq: maxTS.Seq + 1, Writer: cl.id}}
+	// Phase 2: push to every member of a quorum; on unresponsive members,
+	// suspect them and retry with a fresh quorum.
+	for attempt := 0; attempt < cl.MaxRetries; attempt++ {
+		q, err := cl.quorumOrForgive()
+		if err != nil {
+			return fmt.Errorf("sim: write: %w", err)
+		}
+		if cl.pushToQuorum(q, tv) {
+			return nil
+		}
+	}
+	return fmt.Errorf("sim: write: %w", ErrRetriesExhausted)
+}
+
+func (cl *Client) pushToQuorum(q bitset.Set, tv TaggedValue) bool {
+	ok := true
+	q.Range(func(i int) bool {
+		if !cl.cluster.writeTo(i, tv) {
+			cl.suspected.Add(i)
+			ok = false
+		}
+		return true
+	})
+	return ok
+}
+
+// maxTimestamp collects timestamps from a full quorum. Byzantine servers
+// may report inflated timestamps; that only pushes the clock forward,
+// which is harmless for safety (MR98a discusses bounding this; we accept
+// it as the paper's protocol does).
+func (cl *Client) maxTimestamp() (Timestamp, error) {
+	for attempt := 0; attempt < cl.MaxRetries; attempt++ {
+		q, err := cl.quorumOrForgive()
+		if err != nil {
+			return Timestamp{}, err
+		}
+		var max Timestamp
+		complete := true
+		// To keep fabricated timestamps from exploding the clock, accept
+		// only timestamps vouched by b+1 members — the same masking rule
+		// reads use.
+		votes := make(map[Timestamp]int)
+		q.Range(func(i int) bool {
+			tv, alive := cl.cluster.readFrom(i, cl.id)
+			if !alive {
+				cl.suspected.Add(i)
+				complete = false
+				return false
+			}
+			votes[tv.TS]++
+			return true
+		})
+		if !complete {
+			continue
+		}
+		for ts, n := range votes {
+			if n >= cl.cluster.b+1 && max.Less(ts) {
+				max = ts
+			}
+		}
+		return max, nil
+	}
+	return Timestamp{}, ErrRetriesExhausted
+}
+
+// Read performs the [MR98a] masking read: gather answers from a quorum,
+// keep pairs vouched for by ≥ b+1 members, return the one with the
+// highest timestamp.
+func (cl *Client) Read() (TaggedValue, error) {
+	for attempt := 0; attempt < cl.MaxRetries; attempt++ {
+		q, err := cl.quorumOrForgive()
+		if err != nil {
+			return TaggedValue{}, fmt.Errorf("sim: read: %w", err)
+		}
+		votes := make(map[TaggedValue]int)
+		complete := true
+		q.Range(func(i int) bool {
+			tv, alive := cl.cluster.readFrom(i, cl.id)
+			if !alive {
+				cl.suspected.Add(i)
+				complete = false
+				return false
+			}
+			votes[tv]++
+			return true
+		})
+		if !complete {
+			continue
+		}
+		best, found := TaggedValue{}, false
+		for tv, n := range votes {
+			if n >= cl.cluster.b+1 {
+				if !found || best.TS.Less(tv.TS) {
+					best, found = tv, true
+				}
+			}
+		}
+		if !found {
+			return TaggedValue{}, ErrNoCandidate
+		}
+		return best, nil
+	}
+	return TaggedValue{}, fmt.Errorf("sim: read: %w", ErrRetriesExhausted)
+}

@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"bqs/internal/bitset"
+)
+
+// This file implements the OTHER quorum variety of [MR98a] that the paper
+// mentions in Section 3: dissemination quorum systems, used for
+// self-verifying data (e.g. digitally signed values). Because a Byzantine
+// server cannot forge a valid signature, quorum intersections only need
+// b+1 servers — enough that at least one CORRECT server lies in every
+// intersection and relays the newest authentic value; fabricated values
+// simply fail verification. We simulate unforgeability with an
+// authenticator registry: writers register the exact (value, timestamp)
+// pairs they produce, and readers accept only registered pairs.
+
+// Authenticator is the stand-in for a signature scheme: values registered
+// by writers verify; anything else does not. It is shared by all clients
+// of a cluster (like a public-key directory).
+type Authenticator struct {
+	mu     sync.Mutex
+	signed map[TaggedValue]struct{}
+}
+
+// NewAuthenticator returns an empty registry.
+func NewAuthenticator() *Authenticator {
+	return &Authenticator{signed: make(map[TaggedValue]struct{})}
+}
+
+// Sign registers a value as authentic.
+func (a *Authenticator) Sign(tv TaggedValue) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.signed[tv] = struct{}{}
+}
+
+// Verify reports whether tv was produced by a legitimate writer.
+func (a *Authenticator) Verify(tv TaggedValue) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, ok := a.signed[tv]
+	return ok
+}
+
+// DisseminationClient accesses the replicated variable with the
+// dissemination protocol: reads return the highest-timestamped VERIFIED
+// value from a quorum, with no b+1 vouching requirement. It needs the
+// quorum system to have IS ≥ b+1 rather than 2b+1.
+type DisseminationClient struct {
+	id   int
+	c    *Cluster
+	auth *Authenticator
+	// MaxRetries bounds quorum re-selection on unresponsiveness.
+	MaxRetries int
+	suspected  bitset.Set
+}
+
+// NewDisseminationClient attaches a dissemination-protocol client.
+func (c *Cluster) NewDisseminationClient(id int, auth *Authenticator) *DisseminationClient {
+	return &DisseminationClient{
+		id: id, c: c, auth: auth,
+		MaxRetries: 32,
+		suspected:  bitset.New(c.N()),
+	}
+}
+
+func (dc *DisseminationClient) quorumOrForgive() (bitset.Set, error) {
+	q, err := dc.c.pickQuorum(dc.suspected)
+	if err == nil {
+		return q, nil
+	}
+	if !dc.suspected.Empty() {
+		dc.suspected = bitset.New(dc.c.N())
+		return dc.c.pickQuorum(dc.suspected)
+	}
+	return bitset.Set{}, err
+}
+
+// Write signs (value, ts) and stores it at every member of a quorum. The
+// timestamp phase accepts the max VERIFIED timestamp seen — Byzantine
+// servers cannot inflate the clock because they cannot sign.
+func (dc *DisseminationClient) Write(value string) error {
+	maxTS, err := dc.maxVerifiedTimestamp()
+	if err != nil {
+		return fmt.Errorf("sim: dissemination write: %w", err)
+	}
+	tv := TaggedValue{Value: value, TS: Timestamp{Seq: maxTS.Seq + 1, Writer: dc.id}}
+	dc.auth.Sign(tv)
+	for attempt := 0; attempt < dc.MaxRetries; attempt++ {
+		q, err := dc.quorumOrForgive()
+		if err != nil {
+			return fmt.Errorf("sim: dissemination write: %w", err)
+		}
+		ok := true
+		q.Range(func(i int) bool {
+			if !dc.c.writeTo(i, tv) {
+				dc.suspected.Add(i)
+				ok = false
+			}
+			return true
+		})
+		if ok {
+			return nil
+		}
+	}
+	return fmt.Errorf("sim: dissemination write: %w", ErrRetriesExhausted)
+}
+
+func (dc *DisseminationClient) maxVerifiedTimestamp() (Timestamp, error) {
+	for attempt := 0; attempt < dc.MaxRetries; attempt++ {
+		q, err := dc.quorumOrForgive()
+		if err != nil {
+			return Timestamp{}, err
+		}
+		var max Timestamp
+		complete := true
+		q.Range(func(i int) bool {
+			tv, alive := dc.c.readFrom(i, dc.id)
+			if !alive {
+				dc.suspected.Add(i)
+				complete = false
+				return false
+			}
+			if dc.auth.Verify(tv) && max.Less(tv.TS) {
+				max = tv.TS
+			}
+			return true
+		})
+		if complete {
+			return max, nil
+		}
+	}
+	return Timestamp{}, ErrRetriesExhausted
+}
+
+// Read returns the highest-timestamped verified value found in a quorum.
+// With IS ≥ b+1 every read quorum shares a correct server with the last
+// write quorum, so the newest authentic value is always present.
+func (dc *DisseminationClient) Read() (TaggedValue, error) {
+	for attempt := 0; attempt < dc.MaxRetries; attempt++ {
+		q, err := dc.quorumOrForgive()
+		if err != nil {
+			return TaggedValue{}, fmt.Errorf("sim: dissemination read: %w", err)
+		}
+		var best TaggedValue
+		found := false
+		complete := true
+		q.Range(func(i int) bool {
+			tv, alive := dc.c.readFrom(i, dc.id)
+			if !alive {
+				dc.suspected.Add(i)
+				complete = false
+				return false
+			}
+			if dc.auth.Verify(tv) {
+				if !found || best.TS.Less(tv.TS) {
+					best, found = tv, true
+				}
+			}
+			return true
+		})
+		if !complete {
+			continue
+		}
+		if !found {
+			return TaggedValue{}, ErrNoCandidate
+		}
+		return best, nil
+	}
+	return TaggedValue{}, fmt.Errorf("sim: dissemination read: %w", ErrRetriesExhausted)
+}

@@ -1,0 +1,178 @@
+// Package sim is the distributed substrate the paper's quorum systems are
+// built for: an in-memory replicated shared variable served by n servers,
+// accessed through a b-masking quorum system with the read/write protocol
+// of [MR98a]. Clients write a timestamped value to every member of a
+// quorum; readers collect answers from a quorum and accept only
+// value/timestamp pairs vouched for by at least b+1 members, which the
+// 2b+1-intersection property guarantees filters out anything fabricated by
+// at most b Byzantine servers. Fault injection covers crashes (silent
+// servers) and several Byzantine behaviors (fabrication, stale replay,
+// equivocation), so tests can demonstrate both the protocol's guarantees
+// at ≤ b faults and its collapse past the 2b+1 bound.
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Timestamp orders writes: lexicographic on (Seq, Writer).
+type Timestamp struct {
+	Seq    int64
+	Writer int
+}
+
+// Less reports t < u.
+func (t Timestamp) Less(u Timestamp) bool {
+	if t.Seq != u.Seq {
+		return t.Seq < u.Seq
+	}
+	return t.Writer < u.Writer
+}
+
+// TaggedValue is a value with its write timestamp.
+type TaggedValue struct {
+	Value string
+	TS    Timestamp
+}
+
+// Behavior is a server fault mode.
+type Behavior int
+
+// Server behaviors. Crashed servers never respond; Byzantine ones respond
+// with adversarial content.
+const (
+	Correct Behavior = iota + 1
+	Crashed
+	// ByzantineFabricate answers reads with a fabricated value carrying a
+	// timestamp far in the future (the classic attack masking quorums
+	// defend against).
+	ByzantineFabricate
+	// ByzantineStale answers reads with the oldest value it ever stored,
+	// hiding newer writes.
+	ByzantineStale
+	// ByzantineEquivocate answers alternate reads with alternating
+	// fabricated values, so different readers see different states.
+	ByzantineEquivocate
+)
+
+// String names the behavior for logs and tables.
+func (b Behavior) String() string {
+	switch b {
+	case Correct:
+		return "correct"
+	case Crashed:
+		return "crashed"
+	case ByzantineFabricate:
+		return "byz-fabricate"
+	case ByzantineStale:
+		return "byz-stale"
+	case ByzantineEquivocate:
+		return "byz-equivocate"
+	default:
+		return fmt.Sprintf("behavior(%d)", int(b))
+	}
+}
+
+// IsByzantine reports whether the behavior is adversarial (responsive but
+// lying). Crashed is benign per the paper's hybrid fault model.
+func (b Behavior) IsByzantine() bool {
+	return b == ByzantineFabricate || b == ByzantineStale || b == ByzantineEquivocate
+}
+
+// FabricatedValue is what fabricating servers return; tests assert reads
+// never surface it while faults stay within b.
+const FabricatedValue = "FABRICATED"
+
+// Server is one replica of the shared variable.
+type Server struct {
+	id int
+
+	mu       sync.Mutex
+	behavior Behavior
+	current  TaggedValue
+	first    TaggedValue // earliest write, replayed by ByzantineStale
+	hasFirst bool
+	reads    int // served read count, drives equivocation alternation
+	writes   int
+	// colludeTS lets a test coordinate fabricators on one fake timestamp.
+	colludeTS Timestamp
+}
+
+// NewServer returns a correct server with an empty register.
+func NewServer(id int) *Server {
+	return &Server{id: id, behavior: Correct, colludeTS: Timestamp{Seq: 1 << 40, Writer: -1}}
+}
+
+// ID returns the server id.
+func (s *Server) ID() int { return s.id }
+
+// SetBehavior switches the server's fault mode.
+func (s *Server) SetBehavior(b Behavior) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.behavior = b
+}
+
+// Behavior returns the current fault mode.
+func (s *Server) Behavior() Behavior {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.behavior
+}
+
+// HandleWrite applies a timestamped write. It returns false when the
+// server is unresponsive (crashed). Byzantine servers acknowledge but may
+// discard.
+func (s *Server) HandleWrite(tv TaggedValue) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.behavior {
+	case Crashed:
+		return false
+	case ByzantineFabricate, ByzantineEquivocate:
+		// Acknowledge without storing faithfully (store anyway; responses
+		// are fabricated regardless).
+	}
+	s.writes++
+	if !s.hasFirst {
+		s.first = tv
+		s.hasFirst = true
+	}
+	if s.current.TS.Less(tv.TS) {
+		s.current = tv
+	}
+	return true
+}
+
+// HandleRead returns the server's answer to a read probe, and false when
+// unresponsive.
+func (s *Server) HandleRead(readerID int) (TaggedValue, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reads++
+	switch s.behavior {
+	case Crashed:
+		return TaggedValue{}, false
+	case ByzantineFabricate:
+		return TaggedValue{Value: FabricatedValue, TS: s.colludeTS}, true
+	case ByzantineStale:
+		if s.hasFirst {
+			return s.first, true
+		}
+		return TaggedValue{}, true
+	case ByzantineEquivocate:
+		v := fmt.Sprintf("%s-%d", FabricatedValue, s.reads%2)
+		return TaggedValue{Value: v, TS: Timestamp{Seq: s.colludeTS.Seq + int64(s.reads%2), Writer: -1}}, true
+	default:
+		return s.current, true
+	}
+}
+
+// Snapshot returns the faithfully stored value (for test assertions, not
+// part of the protocol).
+func (s *Server) Snapshot() TaggedValue {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.current
+}

@@ -1,0 +1,405 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"bqs/internal/core"
+	"bqs/internal/systems"
+)
+
+// newThresholdCluster builds a cluster over Threshold(n=4b+1, ℓ=3b+1).
+func newThresholdCluster(t *testing.T, b int, seed int64) *Cluster {
+	t.Helper()
+	sys, err := systems.NewMaskingThreshold(4*b+1, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(sys, b, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClusterValidation(t *testing.T) {
+	sys, _ := systems.NewMaskingThreshold(9, 2)
+	if _, err := NewCluster(sys, -1, 1); err == nil {
+		t.Error("negative b should fail")
+	}
+	if _, err := NewCluster(sys, 3, 1); err == nil {
+		t.Error("b beyond the system's masking bound should fail")
+	}
+	c, err := NewCluster(sys, 2, 1)
+	if err != nil || c.N() != 9 || c.B() != 2 {
+		t.Fatalf("cluster = %+v, err %v", c, err)
+	}
+	if err := c.InjectFault(Crashed, 99); err == nil {
+		t.Error("out-of-range fault injection should fail")
+	}
+}
+
+func TestWriteReadRoundTripNoFaults(t *testing.T) {
+	c := newThresholdCluster(t, 2, 7)
+	w := c.NewClient(1)
+	r := c.NewClient(2)
+	if err := w.Write("hello"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != "hello" {
+		t.Fatalf("read %q, want hello", got.Value)
+	}
+	// Overwrite and read again.
+	if err := w.Write("world"); err != nil {
+		t.Fatal(err)
+	}
+	got, err = r.Read()
+	if err != nil || got.Value != "world" {
+		t.Fatalf("read %q (%v), want world", got.Value, err)
+	}
+}
+
+func TestTimestampOrdering(t *testing.T) {
+	a := Timestamp{Seq: 1, Writer: 2}
+	b := Timestamp{Seq: 1, Writer: 3}
+	c := Timestamp{Seq: 2, Writer: 0}
+	if !a.Less(b) || !b.Less(c) || c.Less(a) {
+		t.Fatal("timestamp ordering broken")
+	}
+}
+
+func TestSurvivesCrashesUpToResilience(t *testing.T) {
+	b := 2
+	c := newThresholdCluster(t, b, 11)
+	// Threshold(9, 7): MT = 3, f = 2 crashes tolerated.
+	if err := c.InjectFault(Crashed, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	w := c.NewClient(1)
+	if err := w.Write("alive"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.NewClient(2).Read()
+	if err != nil || got.Value != "alive" {
+		t.Fatalf("read %q (%v), want alive", got.Value, err)
+	}
+	crashed, byz := c.FaultCounts()
+	if crashed != 2 || byz != 0 {
+		t.Fatalf("fault counts = (%d,%d)", crashed, byz)
+	}
+}
+
+func TestFailsPastResilience(t *testing.T) {
+	b := 2
+	c := newThresholdCluster(t, b, 13)
+	// f+1 = 3 crashes: no quorum of 7 among 6 alive.
+	if err := c.InjectFault(Crashed, 0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	w := c.NewClient(1)
+	err := w.Write("doomed")
+	if err == nil {
+		t.Fatal("write should fail past resilience")
+	}
+	if !errors.Is(err, core.ErrNoLiveQuorum) && !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMasksByzantineFabrication(t *testing.T) {
+	b := 2
+	c := newThresholdCluster(t, b, 17)
+	if err := c.InjectFault(ByzantineFabricate, 3, 6); err != nil { // exactly b
+		t.Fatal(err)
+	}
+	w := c.NewClient(1)
+	if err := w.Write("truth"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		got, err := c.NewClient(100 + i).Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Value != "truth" {
+			t.Fatalf("read %q, want truth (fabrication leaked)", got.Value)
+		}
+	}
+}
+
+func TestMasksStaleReplay(t *testing.T) {
+	b := 2
+	c := newThresholdCluster(t, b, 19)
+	w := c.NewClient(1)
+	if err := w.Write("v1"); err != nil {
+		t.Fatal(err)
+	}
+	// Servers 0,1 now replay v1 forever.
+	if err := c.InjectFault(ByzantineStale, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write("v2"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.NewClient(2).Read()
+	if err != nil || got.Value != "v2" {
+		t.Fatalf("read %q (%v), want v2", got.Value, err)
+	}
+}
+
+func TestMasksEquivocation(t *testing.T) {
+	b := 2
+	c := newThresholdCluster(t, b, 23)
+	if err := c.InjectFault(ByzantineEquivocate, 2, 7); err != nil {
+		t.Fatal(err)
+	}
+	w := c.NewClient(1)
+	if err := w.Write("stable"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		got, err := c.NewClient(50 + i).Read()
+		if err != nil || got.Value != "stable" {
+			t.Fatalf("read %q (%v), want stable", got.Value, err)
+		}
+	}
+}
+
+func TestHybridFaults(t *testing.T) {
+	// The paper's hybrid model: b Byzantine plus extra crashes, up to f.
+	// Threshold(13, 10) with b=3: MT = 4, f = 3. Inject 2 Byzantine + 1
+	// crash (within both budgets... b counts Byzantine only; crashes can
+	// add up to f total failures for liveness).
+	sys, err := systems.NewMaskingThreshold(13, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(sys, 3, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectFault(ByzantineFabricate, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectFault(Crashed, 9); err != nil {
+		t.Fatal(err)
+	}
+	w := c.NewClient(1)
+	if err := w.Write("hybrid"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.NewClient(2).Read()
+	if err != nil || got.Value != "hybrid" {
+		t.Fatalf("read %q (%v), want hybrid", got.Value, err)
+	}
+}
+
+func TestViolationPast2bPlus1(t *testing.T) {
+	// Demonstrates why Definition 3.5 needs 2b+1: with 2b+1 colluding
+	// fabricators, every quorum of the 3b+1-of-4b+1 threshold contains at
+	// least b+1 of them, so their fake pair gets vouched and wins.
+	b := 2
+	c := newThresholdCluster(t, b, 31)
+	w := c.NewClient(1)
+	if err := w.Write("truth"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectFault(ByzantineFabricate, 0, 1, 2, 3, 4); err != nil { // 2b+1 = 5
+		t.Fatal(err)
+	}
+	got, err := c.NewClient(2).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != FabricatedValue {
+		t.Fatalf("read %q — expected the fabricated value to win once faults exceed b", got.Value)
+	}
+}
+
+func TestMultipleWritersLastWins(t *testing.T) {
+	c := newThresholdCluster(t, 1, 37)
+	w1 := c.NewClient(1)
+	w2 := c.NewClient(2)
+	for i := 0; i < 5; i++ {
+		if err := w1.Write(fmt.Sprintf("w1-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w2.Write(fmt.Sprintf("w2-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.NewClient(3).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != "w2-4" {
+		t.Fatalf("read %q, want w2-4 (the last completed write)", got.Value)
+	}
+	if got.TS.Writer != 2 {
+		t.Fatalf("winning writer = %d, want 2", got.TS.Writer)
+	}
+}
+
+func TestRegisterOverMGrid(t *testing.T) {
+	sys, err := systems.NewMGrid(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(sys, 3, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 Byzantine servers anywhere.
+	if err := c.InjectFault(ByzantineFabricate, 5, 17, 33); err != nil {
+		t.Fatal(err)
+	}
+	w := c.NewClient(1)
+	if err := w.Write("grid-value"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.NewClient(2).Read()
+	if err != nil || got.Value != "grid-value" {
+		t.Fatalf("read %q (%v), want grid-value", got.Value, err)
+	}
+}
+
+func TestRegisterOverMPath(t *testing.T) {
+	sys, err := systems.NewMPath(9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(sys, 4, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectFault(ByzantineFabricate, 10, 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectFault(Crashed, 60, 61); err != nil {
+		t.Fatal(err)
+	}
+	w := c.NewClient(1)
+	if err := w.Write("path-value"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.NewClient(2).Read()
+	if err != nil || got.Value != "path-value" {
+		t.Fatalf("read %q (%v), want path-value", got.Value, err)
+	}
+}
+
+func TestRandomizedSafetyWithinB(t *testing.T) {
+	// Property: across random fault placements with ≤ b Byzantine and ≤
+	// f − b extra crashes, a read after a write returns exactly the
+	// written value.
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 40; trial++ {
+		b := 1 + rng.Intn(3)
+		sys, err := systems.NewMaskingThreshold(4*b+1+2*rng.Intn(3), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewCluster(sys, b, rng.Int63())
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := c.N()
+		perm := rng.Perm(n)
+		byz := perm[:b]
+		behaviors := []Behavior{ByzantineFabricate, ByzantineStale, ByzantineEquivocate}
+		for _, id := range byz {
+			if err := c.InjectFault(behaviors[rng.Intn(len(behaviors))], id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		extraCrashes := core.Resilience(sys) - b
+		if extraCrashes > 0 {
+			crash := perm[b : b+1] // one extra crash keeps liveness comfortable
+			if err := c.InjectFault(Crashed, crash...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w := c.NewClient(1)
+		want := fmt.Sprintf("payload-%d", trial)
+		if err := w.Write(want); err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		got, err := c.NewClient(2).Read()
+		if err != nil {
+			t.Fatalf("trial %d: read: %v", trial, err)
+		}
+		if got.Value != want {
+			t.Fatalf("trial %d: read %q, want %q", trial, got.Value, want)
+		}
+	}
+}
+
+func TestBehaviorString(t *testing.T) {
+	for _, b := range []Behavior{Correct, Crashed, ByzantineFabricate, ByzantineStale, ByzantineEquivocate, Behavior(99)} {
+		if b.String() == "" {
+			t.Errorf("empty string for %d", int(b))
+		}
+	}
+	if Correct.IsByzantine() || Crashed.IsByzantine() {
+		t.Error("correct/crashed misclassified as Byzantine")
+	}
+	if !ByzantineFabricate.IsByzantine() {
+		t.Error("fabricate should be Byzantine")
+	}
+}
+
+func TestLossyNetworkStillSafe(t *testing.T) {
+	// With a mildly lossy network, clients suspect droppers and retry;
+	// operations must stay correct (dropped responses look like crashes).
+	c := newThresholdCluster(t, 2, 59)
+	if err := c.SetDropRate(0.03); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectFault(ByzantineFabricate, 3); err != nil {
+		t.Fatal(err)
+	}
+	w := c.NewClient(1)
+	w.MaxRetries = 64
+	r := c.NewClient(2)
+	r.MaxRetries = 64
+	for i := 0; i < 10; i++ {
+		want := fmt.Sprintf("lossy-%d", i)
+		if err := w.Write(want); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got.Value != want {
+			t.Fatalf("read %q, want %q", got.Value, want)
+		}
+	}
+}
+
+func TestFullyLossyNetworkFails(t *testing.T) {
+	c := newThresholdCluster(t, 1, 61)
+	if err := c.SetDropRate(1.0); err != nil {
+		t.Fatal(err)
+	}
+	w := c.NewClient(1)
+	if err := w.Write("void"); err == nil {
+		t.Fatal("write should fail on a dead network")
+	}
+}
+
+func TestSetDropRateValidation(t *testing.T) {
+	c := newThresholdCluster(t, 1, 62)
+	if err := c.SetDropRate(-0.1); err == nil {
+		t.Error("negative rate should fail")
+	}
+	if err := c.SetDropRate(1.1); err == nil {
+		t.Error("rate > 1 should fail")
+	}
+}

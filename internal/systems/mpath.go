@@ -1,0 +1,147 @@
+package systems
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bqs/internal/bitset"
+	"bqs/internal/combin"
+	"bqs/internal/core"
+	"bqs/internal/lattice"
+)
+
+// MPath is the multi-path construction of Section 7 (Figure 3): servers
+// are the vertices of a triangulated d×d grid, a quorum being √(2b+1)
+// vertex-disjoint left-right paths together with √(2b+1) vertex-disjoint
+// top-bottom paths. The LR paths of one quorum cross the TB paths of
+// another in ≥ 2b+1 distinct vertices (Proposition 7.1). M-Path is optimal
+// in both load (≤ 2√((2b+1)/n), Proposition 7.2) and crash probability
+// (F_p ≤ exp(−Ω(√n−√b)) for every p < 1/2, Proposition 7.3 — via site
+// percolation on the triangular lattice, whose critical probability is
+// 1/2).
+type MPath struct {
+	name string
+	d, b int
+	r    int // disjoint paths per direction: ⌈√(2b+1)⌉
+	grid *lattice.Grid
+}
+
+var (
+	_ core.System        = (*MPath)(nil)
+	_ core.Sampler       = (*MPath)(nil)
+	_ core.Parameterized = (*MPath)(nil)
+	_ core.Masking       = (*MPath)(nil)
+)
+
+// NewMPath builds M-Path(b) on a d×d triangulated grid. Requires
+// √(2b+1) ≤ d and the Proposition 7.1 masking condition
+// MT − 1 = d − √(2b+1) ≥ b.
+func NewMPath(d, b int) (*MPath, error) {
+	if b < 0 || d < 1 {
+		return nil, fmt.Errorf("systems: m-path: invalid d=%d b=%d", d, b)
+	}
+	r := combin.CeilSqrt(2*b + 1)
+	if r > d {
+		return nil, fmt.Errorf("systems: m-path: √(2b+1)=%d exceeds side %d", r, d)
+	}
+	if d-r < b {
+		return nil, fmt.Errorf("systems: m-path: resilience d−√(2b+1)=%d below b=%d", d-r, b)
+	}
+	g, err := lattice.New(d)
+	if err != nil {
+		return nil, err
+	}
+	return &MPath{
+		name: fmt.Sprintf("M-Path(d=%d,b=%d)", d, b),
+		d:    d, b: b, r: r,
+		grid: g,
+	}, nil
+}
+
+// Name returns the system's label.
+func (m *MPath) Name() string { return m.name }
+
+// UniverseSize returns n = d².
+func (m *MPath) UniverseSize() int { return m.d * m.d }
+
+// Side returns d; PathsPerAxis returns √(2b+1).
+func (m *MPath) Side() int         { return m.d }
+func (m *MPath) PathsPerAxis() int { return m.r }
+
+// Grid exposes the underlying lattice (for rendering and analysis).
+func (m *MPath) Grid() *lattice.Grid { return m.grid }
+
+// SelectQuorum finds √(2b+1) vertex-disjoint open LR paths and as many TB
+// paths via max-flow (Menger's theorem) and returns their union.
+func (m *MPath) SelectQuorum(rng *rand.Rand, dead bitset.Set) (bitset.Set, error) {
+	lr, err := m.grid.DisjointPaths(lattice.LeftRight, dead, m.r)
+	if err != nil {
+		return bitset.Set{}, fmt.Errorf("systems: m-path: %w", err)
+	}
+	if len(lr) < m.r {
+		return bitset.Set{}, core.ErrNoLiveQuorum
+	}
+	tb, err := m.grid.DisjointPaths(lattice.TopBottom, dead, m.r)
+	if err != nil {
+		return bitset.Set{}, fmt.Errorf("systems: m-path: %w", err)
+	}
+	if len(tb) < m.r {
+		return bitset.Set{}, core.ErrNoLiveQuorum
+	}
+	q := bitset.New(m.d * m.d)
+	for _, p := range lr {
+		for _, v := range p {
+			q.Add(v)
+		}
+	}
+	for _, p := range tb {
+		for _, v := range p {
+			q.Add(v)
+		}
+	}
+	return q, nil
+}
+
+// SampleQuorum implements the Proposition 7.2 strategy: √(2b+1) uniformly
+// random straight rows (as LR paths) and as many straight columns (as TB
+// paths), giving load ≤ 2√(2b+1)/√n — optimal by Corollary 4.2.
+func (m *MPath) SampleQuorum(rng *rand.Rand) bitset.Set {
+	q := bitset.New(m.d * m.d)
+	for _, row := range combin.RandomKSubset(rng, m.d, m.r) {
+		for c := 0; c < m.d; c++ {
+			q.Add(m.grid.Index(row, c))
+		}
+	}
+	for _, col := range combin.RandomKSubset(rng, m.d, m.r) {
+		for r := 0; r < m.d; r++ {
+			q.Add(m.grid.Index(r, col))
+		}
+	}
+	return q
+}
+
+// MinQuorumSize returns the straight-line quorum size 2rd − r², which
+// witnesses the paper's bound c(M-Path) ≤ 2√(n(2b+1)) (Proposition 7.1).
+// Wiggly paths are longer, so this is the size the strategy actually uses.
+func (m *MPath) MinQuorumSize() int { return 2*m.r*m.d - m.r*m.r }
+
+// MinIntersection returns the Proposition 7.1 guarantee IS ≥ r² ≥ 2b+1:
+// the r LR paths of one quorum each cross the r TB paths of the other.
+func (m *MPath) MinIntersection() int { return m.r * m.r }
+
+// MinTransversal returns MT = d − √(2b+1) + 1 (Proposition 7.1, as in the
+// M-Grid system).
+func (m *MPath) MinTransversal() int { return m.d - m.r + 1 }
+
+// MaskingBound applies Corollary 3.7.
+func (m *MPath) MaskingBound() int { return core.MaskingBoundFromParams(m) }
+
+// DeclaredB returns the b the system was built for.
+func (m *MPath) DeclaredB() int { return m.b }
+
+// Load returns the straight-line strategy's load 2r/d − (r/d)², within the
+// Proposition 7.2 bound 2√(2b+1)/√n and optimal up to the constant 2.
+func (m *MPath) Load() float64 {
+	rd := float64(m.r) / float64(m.d)
+	return 2*rd - rd*rd
+}

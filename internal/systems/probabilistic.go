@@ -1,0 +1,126 @@
+package systems
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bqs/internal/bitset"
+	"bqs/internal/combin"
+	"bqs/internal/core"
+)
+
+// ProbMasking is the probabilistic b-masking quorum system of [MRWW98],
+// which the paper's Discussion (Section 8) cites as the way to break the
+// resilience–load tradeoff f ≤ n·L(Q). Quorums are ALL subsets of a fixed
+// size s, so strictly every pair intersects (for 2s > n) but the masking
+// property |Q1∩Q2| ≥ 2b+1 holds only with probability 1−ε over quorums
+// drawn from the uniform access strategy: |Q1∩Q2| is hypergeometric with
+// mean s²/n, and ε = P(X ≤ 2b) decays exponentially once s²/n ≫ 2b.
+//
+// The payoff: load s/n can be Θ(1/√n)·ℓ while resilience is n−s — both
+// near-optimal simultaneously, which Theorem 4.1 forbids for strict
+// masking systems.
+type ProbMasking struct {
+	name string
+	n, s int
+	b    int
+}
+
+var (
+	_ core.System        = (*ProbMasking)(nil)
+	_ core.Sampler       = (*ProbMasking)(nil)
+	_ core.Parameterized = (*ProbMasking)(nil)
+)
+
+// NewProbMasking builds the system with quorum size s over n servers,
+// targeting masking bound b. Requires 0 < s ≤ n and mean intersection
+// s²/n > 2b (otherwise ε is not even below 1/2).
+func NewProbMasking(n, s, b int) (*ProbMasking, error) {
+	if s <= 0 || s > n {
+		return nil, fmt.Errorf("systems: prob-masking: quorum size %d out of range (n=%d)", s, n)
+	}
+	if b < 0 {
+		return nil, fmt.Errorf("systems: prob-masking: b=%d must be non-negative", b)
+	}
+	if s*s <= 2*b*n {
+		return nil, fmt.Errorf("systems: prob-masking: mean intersection s²/n = %d/%d ≤ 2b = %d",
+			s*s, n, 2*b)
+	}
+	return &ProbMasking{
+		name: fmt.Sprintf("ProbMasking(n=%d,s=%d,b=%d)", n, s, b),
+		n:    n, s: s, b: b,
+	}, nil
+}
+
+// Name returns the system's label.
+func (p *ProbMasking) Name() string { return p.name }
+
+// UniverseSize returns n.
+func (p *ProbMasking) UniverseSize() int { return p.n }
+
+// QuorumSize returns s; DeclaredB returns b.
+func (p *ProbMasking) QuorumSize() int { return p.s }
+func (p *ProbMasking) DeclaredB() int  { return p.b }
+
+// SelectQuorum picks s uniformly random live servers.
+func (p *ProbMasking) SelectQuorum(rng *rand.Rand, dead bitset.Set) (bitset.Set, error) {
+	alive := make([]int, 0, p.n)
+	for i := 0; i < p.n; i++ {
+		if !dead.Contains(i) {
+			alive = append(alive, i)
+		}
+	}
+	if len(alive) < p.s {
+		return bitset.Set{}, core.ErrNoLiveQuorum
+	}
+	q := bitset.New(p.n)
+	for _, i := range combin.RandomKSubset(rng, len(alive), p.s) {
+		q.Add(alive[i])
+	}
+	return q, nil
+}
+
+// SampleQuorum draws from the uniform strategy — the strategy the ε
+// guarantee is stated for.
+func (p *ProbMasking) SampleQuorum(rng *rand.Rand) bitset.Set {
+	q := bitset.New(p.n)
+	for _, i := range combin.RandomKSubset(rng, p.n, p.s) {
+		q.Add(i)
+	}
+	return q
+}
+
+// MinQuorumSize returns s.
+func (p *ProbMasking) MinQuorumSize() int { return p.s }
+
+// MinIntersection returns the WORST-case intersection max(0, 2s−n) —
+// which is what a strict masking analysis would use, and is typically far
+// below 2b+1; the probabilistic guarantee is EpsilonMasking instead.
+func (p *ProbMasking) MinIntersection() int {
+	is := 2*p.s - p.n
+	if is < 0 {
+		return 0
+	}
+	return is
+}
+
+// MinTransversal returns n − s + 1: any s live servers form a quorum.
+func (p *ProbMasking) MinTransversal() int { return p.n - p.s + 1 }
+
+// Load returns the uniform-strategy load s/n.
+func (p *ProbMasking) Load() float64 { return float64(p.s) / float64(p.n) }
+
+// EpsilonMasking returns ε = P(|Q1∩Q2| ≤ 2b) for two independent
+// uniformly drawn quorums — the probability that a read/write quorum pair
+// fails to mask b Byzantine servers. Exact hypergeometric tail.
+func (p *ProbMasking) EpsilonMasking() float64 {
+	return combin.HypergeomCDF(p.n, p.s, p.s, 2*p.b)
+}
+
+// BreaksTradeoff reports whether the system beats the strict-masking
+// bound f ≤ n·L(Q) of Section 8 (equivalently f > s), together with the
+// ε at which it does so.
+func (p *ProbMasking) BreaksTradeoff() (bool, float64) {
+	f := p.MinTransversal() - 1
+	return float64(f) > float64(p.n)*p.Load(), p.EpsilonMasking()
+}

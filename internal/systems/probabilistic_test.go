@@ -1,0 +1,139 @@
+package systems
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bqs/internal/bitset"
+	"bqs/internal/combin"
+	"bqs/internal/core"
+)
+
+func TestHypergeomAgainstBruteForce(t *testing.T) {
+	// Exact check of the PMF against direct counting on a small case:
+	// n=10, succ=4, draws=5.
+	n, succ, draws := 10, 4, 5
+	total, _ := combin.Binomial(n, draws)
+	for k := 0; k <= draws; k++ {
+		// count subsets of size `draws` with exactly k of the first `succ`.
+		a, _ := combin.Binomial(succ, k)
+		b, _ := combin.Binomial(n-succ, draws-k)
+		want := float64(a*b) / float64(total)
+		got := combin.HypergeomPMF(n, succ, draws, k)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("PMF(k=%d) = %g, want %g", k, got, want)
+		}
+	}
+	// CDF sums to 1 at k = draws.
+	if c := combin.HypergeomCDF(n, succ, draws, draws); math.Abs(c-1) > 1e-12 {
+		t.Errorf("CDF at max = %g", c)
+	}
+	if combin.HypergeomPMF(n, succ, draws, -1) != 0 || combin.HypergeomPMF(n, succ, draws, 6) != 0 {
+		t.Error("out-of-support PMF should be 0")
+	}
+}
+
+func TestProbMaskingValidation(t *testing.T) {
+	if _, err := NewProbMasking(100, 0, 1); err == nil {
+		t.Error("s=0 should fail")
+	}
+	if _, err := NewProbMasking(100, 101, 1); err == nil {
+		t.Error("s>n should fail")
+	}
+	if _, err := NewProbMasking(100, 10, -1); err == nil {
+		t.Error("b<0 should fail")
+	}
+	if _, err := NewProbMasking(100, 10, 3); err == nil {
+		t.Error("mean intersection ≤ 2b should fail")
+	}
+	if _, err := NewProbMasking(100, 40, 3); err != nil {
+		t.Errorf("valid system rejected: %v", err)
+	}
+}
+
+func TestProbMaskingEpsilonSmall(t *testing.T) {
+	// n = 400, s = 4√n = 80, b = √n/2 = 10: mean intersection 16 ≈ not
+	// enough... use s = 100: mean 25 > 2b = 20; epsilon should be < 0.2,
+	// and shrink as s grows.
+	p1, err := NewProbMasking(400, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewProbMasking(400, 140, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, e2 := p1.EpsilonMasking(), p2.EpsilonMasking()
+	if e1 >= 1 || e1 <= 0 {
+		t.Fatalf("ε1 = %g out of range", e1)
+	}
+	if e2 >= e1 {
+		t.Errorf("ε should shrink with quorum size: %g → %g", e1, e2)
+	}
+	if e2 > 1e-3 {
+		t.Errorf("ε2 = %g, want ≤ 1e-3 for s=140", e2)
+	}
+}
+
+func TestProbMaskingEpsilonMatchesSampling(t *testing.T) {
+	p, err := NewProbMasking(100, 50, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(60))
+	bad, trials := 0, 20000
+	for i := 0; i < trials; i++ {
+		q1 := p.SampleQuorum(rng)
+		q2 := p.SampleQuorum(rng)
+		if q1.IntersectionCount(q2) <= 2*8 {
+			bad++
+		}
+	}
+	got := float64(bad) / float64(trials)
+	want := p.EpsilonMasking()
+	se := math.Sqrt(want*(1-want)/float64(trials)) + 1e-4
+	if math.Abs(got-want) > 5*se {
+		t.Errorf("sampled ε = %g, analytic %g (±%g)", got, want, se)
+	}
+}
+
+func TestProbMaskingBreaksTradeoff(t *testing.T) {
+	// The Section 8 tradeoff says strict masking forces f ≤ nL. The
+	// probabilistic system with s = 5√n over n = 1024 gets load 5/√n ≈
+	// 0.156 (so nL ≈ 160) but resilience f = n − s = 864 ≫ 160, at
+	// ε ≈ 10⁻⁹-ish for b = 5.
+	n := 1024
+	s := 5 * combin.ISqrt(n) // 160
+	p, err := NewProbMasking(n, s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	breaks, eps := p.BreaksTradeoff()
+	if !breaks {
+		t.Fatalf("f = %d should exceed nL = %g", p.MinTransversal()-1, float64(n)*p.Load())
+	}
+	if eps > 1e-4 {
+		t.Errorf("ε = %g, want tiny", eps)
+	}
+	// Strict masking bound for comparison: every strict construction in
+	// this repo obeys f ≤ nL (see bench.ResilienceLoadTradeoff).
+}
+
+func TestProbMaskingSelection(t *testing.T) {
+	p, _ := NewProbMasking(50, 25, 5)
+	rng := rand.New(rand.NewSource(61))
+	dead := bitset.FromSlice([]int{0, 1, 2})
+	q, err := p.SelectQuorum(rng, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Count() != 25 || q.Intersects(dead) {
+		t.Fatalf("bad quorum: count=%d", q.Count())
+	}
+	// Kill past resilience: fewer than s alive.
+	bigDead := bitset.FromRange(0, 26)
+	if _, err := p.SelectQuorum(rng, bigDead); err != core.ErrNoLiveQuorum {
+		t.Errorf("err = %v, want ErrNoLiveQuorum", err)
+	}
+}

@@ -1,0 +1,66 @@
+package systems
+
+import (
+	"fmt"
+
+	"bqs/internal/bitset"
+	"bqs/internal/compose"
+	"bqs/internal/core"
+	"bqs/internal/projective"
+)
+
+// This file provides the regular (benign fault-tolerant) quorum systems
+// the paper builds on: majorities [Tho79], the NW98 grid, and finite
+// projective planes [Mae85]. They are the inputs to the Section 6 boosting
+// technique, which turns any regular system into a masking one.
+
+// NewMajority returns the majority system over n servers: quorums are all
+// subsets of size ⌊n/2⌋+1.
+func NewMajority(n int) (*Threshold, error) {
+	t, err := NewThreshold(n, n/2+1)
+	if err != nil {
+		return nil, err
+	}
+	t.name = fmt.Sprintf("Majority(%d)", n)
+	return t, nil
+}
+
+// NewFPP wraps the lines of a projective plane as an explicit quorum
+// system: the optimal-load regular system of [NW98] with c = q+1,
+// IS = 1, MT = q+1 and L = (q+1)/n ≈ 1/√n.
+func NewFPP(plane *projective.Plane) (*core.ExplicitSystem, error) {
+	n := plane.NumPoints()
+	lines := plane.Lines()
+	quorums := make([]bitset.Set, len(lines))
+	for i, ln := range lines {
+		quorums[i] = bitset.FromSlice(ln)
+	}
+	return core.NewExplicit(fmt.Sprintf("FPP(%d)", plane.Order()), n, quorums)
+}
+
+// NewNWGrid returns the regular grid system over a d×d universe: a quorum
+// is one full row plus one full column (c = 2d−1, IS = 2 for d ≥ 2,
+// MT = d). It is the b=0 special case of the masking Grid.
+func NewNWGrid(d int) (*Grid, error) {
+	g, err := NewGrid(d, 0)
+	if err != nil {
+		return nil, err
+	}
+	g.name = fmt.Sprintf("NWGrid(%d)", d)
+	return g, nil
+}
+
+// Boost generalizes the Section 6 technique to any regular quorum system:
+// Boost(S, b) = S ∘ Thresh(3b+1 of 4b+1) is b-masking whenever S is a
+// quorum system with MT(S) ≥ 1 — by Theorem 4.7 the composition has
+// IS ≥ 1·(2b+1) and MT ≥ 1·(b+1), satisfying Lemma 3.6.
+func Boost(regular core.System, b int) (*compose.Composite, error) {
+	if b < 0 {
+		return nil, fmt.Errorf("systems: boost: b=%d must be non-negative", b)
+	}
+	inner, err := NewThreshold(4*b+1, 3*b+1)
+	if err != nil {
+		return nil, err
+	}
+	return compose.New(regular, inner), nil
+}

@@ -1,0 +1,86 @@
+package systems
+
+import (
+	"fmt"
+
+	"bqs/internal/bitset"
+	"bqs/internal/core"
+)
+
+// This file adds two further regular quorum systems from the paper's
+// related-work set, used as boosting inputs and measure baselines: the
+// crumbling walls of [PW97b] and the wheel of [NW98].
+
+// NewCrumblingWall builds the crumbling-wall system of [PW97b]: servers
+// are arranged in rows of the given widths; a quorum is one full row i
+// together with one representative from every row below i. The quorum
+// count is Σ_i Π_{j>i} w_j, so the explicit construction is restricted to
+// small walls (limit ≤ 0 means 100000).
+func NewCrumblingWall(widths []int, limit int) (*core.ExplicitSystem, error) {
+	if limit <= 0 {
+		limit = 100000
+	}
+	if len(widths) == 0 {
+		return nil, fmt.Errorf("systems: crumbling wall needs at least one row")
+	}
+	offsets := make([]int, len(widths)+1)
+	for i, w := range widths {
+		if w < 1 {
+			return nil, fmt.Errorf("systems: crumbling wall row %d has width %d", i, w)
+		}
+		offsets[i+1] = offsets[i] + w
+	}
+	n := offsets[len(widths)]
+
+	var quorums []bitset.Set
+	for i := range widths {
+		// Odometer over representative choices in rows below i.
+		below := widths[i+1:]
+		reps := make([]int, len(below))
+		for {
+			q := bitset.New(n)
+			for e := offsets[i]; e < offsets[i+1]; e++ {
+				q.Add(e)
+			}
+			for bi, rep := range reps {
+				q.Add(offsets[i+1+bi] + rep)
+			}
+			quorums = append(quorums, q)
+			if len(quorums) > limit {
+				return nil, fmt.Errorf("systems: crumbling wall exceeds %d quorums", limit)
+			}
+			pos := len(reps) - 1
+			for pos >= 0 {
+				reps[pos]++
+				if reps[pos] < below[pos] {
+					break
+				}
+				reps[pos] = 0
+				pos--
+			}
+			if pos < 0 {
+				break
+			}
+		}
+	}
+	name := fmt.Sprintf("CW%v", widths)
+	return core.NewExplicit(name, n, quorums)
+}
+
+// NewWheel builds the wheel system of [NW98] over n ≥ 3 servers: element
+// 0 is the hub; quorums are the spokes {hub, rim_i} and the full rim.
+// Its optimal load 4/7-ish behavior (for n=5) exercises the LP on an
+// unbalanced (non-fair) system.
+func NewWheel(n int) (*core.ExplicitSystem, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("systems: wheel needs n ≥ 3, got %d", n)
+	}
+	quorums := make([]bitset.Set, 0, n)
+	rim := bitset.New(n)
+	for i := 1; i < n; i++ {
+		rim.Add(i)
+		quorums = append(quorums, bitset.FromSlice([]int{0, i}))
+	}
+	quorums = append(quorums, rim)
+	return core.NewExplicit(fmt.Sprintf("Wheel(%d)", n), n, quorums)
+}

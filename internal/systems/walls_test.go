@@ -1,0 +1,143 @@
+package systems
+
+import (
+	"math"
+	"testing"
+
+	"bqs/internal/measures"
+)
+
+func TestCrumblingWallConstruction(t *testing.T) {
+	// Wall with rows [1, 2, 3]: 6 servers. Quorums:
+	// row 0 (1 elem) + rep from row 1 (2 ways) + rep from row 2 (3) = 6
+	// row 1 (2 elems) + rep from row 2 (3 ways) = 3
+	// row 2 (3 elems) alone = 1. Total 10.
+	cw, err := NewCrumblingWall([]int{1, 2, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cw.UniverseSize() != 6 {
+		t.Errorf("n = %d, want 6", cw.UniverseSize())
+	}
+	if cw.NumQuorums() != 10 {
+		t.Errorf("|Q| = %d, want 10", cw.NumQuorums())
+	}
+	// Regular system: IS = 1.
+	if cw.MinIntersection() != 1 {
+		t.Errorf("IS = %d, want 1", cw.MinIntersection())
+	}
+	// Smallest quorum: row 0 variant has size 1+1+1 = 3, row 2 has 3,
+	// row 1 has 2+1 = 3 → c = 3.
+	if cw.MinQuorumSize() != 3 {
+		t.Errorf("c = %d, want 3", cw.MinQuorumSize())
+	}
+}
+
+func TestCrumblingWallValidation(t *testing.T) {
+	if _, err := NewCrumblingWall(nil, 0); err == nil {
+		t.Error("empty wall should fail")
+	}
+	if _, err := NewCrumblingWall([]int{2, 0}, 0); err == nil {
+		t.Error("zero-width row should fail")
+	}
+	if _, err := NewCrumblingWall([]int{1, 8, 8, 8}, 100); err == nil {
+		t.Error("limit should bind")
+	}
+}
+
+func TestCrumblingWallBoosts(t *testing.T) {
+	// Section 6 boosting applied to the crumbling wall.
+	cw, err := NewCrumblingWall([]int{1, 2, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boosted, err := Boost(cw, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := boosted.MaskingBound(); got != 1 {
+		t.Errorf("boosted wall masks %d, want 1", got)
+	}
+	if boosted.UniverseSize() != 6*5 {
+		t.Errorf("boosted n = %d, want 30", boosted.UniverseSize())
+	}
+}
+
+func TestWheelLoadViaLP(t *testing.T) {
+	// Wheel(5) has the known optimal load 4/7 (hand-computed in the lp
+	// package tests); the LP on the system built here must agree.
+	w, err := NewWheel(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load, _, err := measures.Load(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(load-4.0/7) > 1e-6 {
+		t.Errorf("wheel load = %g, want 4/7", load)
+	}
+	if _, err := NewWheel(2); err == nil {
+		t.Error("n=2 wheel should fail")
+	}
+}
+
+func TestCrashPolynomialMajority(t *testing.T) {
+	// Majority-3 kill counts: N_0 = 0, N_1 = 0, N_2 = 3, N_3 = 1.
+	m, err := NewMajority(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := m.Enumerate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := measures.CrashPolynomial(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0, 3, 1}
+	for k, c := range counts {
+		if c != want[k] {
+			t.Errorf("N_%d = %g, want %g", k, c, want[k])
+		}
+	}
+	// Polynomial evaluation matches direct exact computation at many p.
+	for _, p := range []float64{0.05, 0.3, 0.77} {
+		direct, err := measures.CrashProbabilityExact(ex, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := measures.EvalCrashPolynomial(counts, p); math.Abs(got-direct) > 1e-12 {
+			t.Errorf("poly(%g) = %g, direct %g", p, got, direct)
+		}
+	}
+}
+
+func TestCrashPolynomialMonotoneCounts(t *testing.T) {
+	// Killing sets are upward closed: N_k / C(n,k) is non-decreasing.
+	cw, err := NewCrumblingWall([]int{1, 2, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := measures.CrashPolynomial(cw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := cw.UniverseSize()
+	prev := 0.0
+	for k, c := range counts {
+		binom := 1.0
+		for i := 0; i < k; i++ {
+			binom = binom * float64(n-i) / float64(i+1)
+		}
+		frac := c / binom
+		if frac < prev-1e-12 {
+			t.Errorf("killing fraction decreased at k=%d: %g → %g", k, prev, frac)
+		}
+		prev = frac
+	}
+	if counts[n] == 0 {
+		t.Error("killing everything must kill the system")
+	}
+}
