@@ -10,7 +10,10 @@
 package bqs_test
 
 import (
+	"context"
+	"errors"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"bqs"
@@ -408,23 +411,96 @@ func BenchmarkRegisterWriteRead(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	cluster, err := bqs.NewCluster(sys, 5, 10)
+	cluster, err := bqs.NewCluster(sys, 5, bqs.WithSeed(10))
 	if err != nil {
 		b.Fatal(err)
 	}
 	if err := cluster.InjectFault(bqs.ByzantineFabricate, 0, 7, 14); err != nil {
 		b.Fatal(err)
 	}
+	ctx := context.Background()
 	w := cluster.NewClient(1)
 	r := cluster.NewClient(2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := w.Write("bench"); err != nil {
+		if err := w.Write(ctx, "bench"); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := r.Read(); err != nil {
+		if _, err := r.Read(ctx); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkClusterThroughput is the perf baseline for the concurrent
+// quorum-access engine: write+read pairs driven by one client
+// (sequential) vs one client per GOMAXPROCS goroutine (parallel), over a
+// fault-free Threshold and M-Path cluster. Future PRs compare against
+// these numbers.
+func BenchmarkClusterThroughput(b *testing.B) {
+	build := func(b *testing.B, kind string) (bqs.System, int) {
+		b.Helper()
+		switch kind {
+		case "Threshold":
+			sys, err := bqs.NewMaskingThreshold(21, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return sys, 5
+		case "MPath":
+			sys, err := bqs.NewMPath(10, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return sys, 3
+		default:
+			b.Fatalf("unknown system %q", kind)
+			return nil, 0
+		}
+	}
+	ctx := context.Background()
+	for _, kind := range []string{"Threshold", "MPath"} {
+		b.Run(kind+"/sequential", func(b *testing.B) {
+			sys, bound := build(b, kind)
+			cluster, err := bqs.NewCluster(sys, bound, bqs.WithSeed(20))
+			if err != nil {
+				b.Fatal(err)
+			}
+			cl := cluster.NewClient(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := cl.Write(ctx, "bench"); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := cl.Read(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(cluster.PeakLoad(), "peak_load")
+		})
+		b.Run(kind+"/parallel", func(b *testing.B) {
+			sys, bound := build(b, kind)
+			cluster, err := bqs.NewCluster(sys, bound, bqs.WithSeed(21))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var ids atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				cl := cluster.NewClient(int(ids.Add(1)))
+				for pb.Next() {
+					if err := cl.Write(ctx, "bench"); err != nil {
+						b.Error(err)
+						return
+					}
+					if _, err := cl.Read(ctx); err != nil && !errors.Is(err, bqs.ErrNoCandidate) {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.ReportMetric(cluster.PeakLoad(), "peak_load")
+		})
 	}
 }
 

@@ -2,6 +2,7 @@ package bqs
 
 import (
 	"math/rand"
+	"time"
 
 	"bqs/internal/bitset"
 	"bqs/internal/compose"
@@ -56,9 +57,12 @@ type (
 	// in §8 as the way past the f ≤ nL tradeoff.
 	ProbMasking = systems.ProbMasking
 
-	// Cluster is a simulated server fleet behind a masking quorum system.
+	// Cluster is a simulated server fleet behind a masking quorum system,
+	// safe for any number of concurrent clients.
 	Cluster = sim.Cluster
-	// Client reads and writes the replicated variable via quorums.
+	// Client reads and writes the replicated variable via quorums; its
+	// context-aware operations fan probes out to quorum members in
+	// parallel and honor deadlines and cancellation.
 	Client = sim.Client
 	// DisseminationClient runs the [MR98a] self-verifying-data protocol,
 	// which needs only IS ≥ b+1.
@@ -67,12 +71,31 @@ type (
 	Authenticator = sim.Authenticator
 	// Behavior is a server fault mode for injection.
 	Behavior = sim.Behavior
+	// Server is one replica of the shared variable.
+	Server = sim.Server
+	// ClusterOption configures NewCluster (seed, loss, latency, transport).
+	ClusterOption = sim.Option
+	// Transport delivers protocol messages to servers; implement it to run
+	// the protocol over a custom message layer.
+	Transport = sim.Transport
+	// Request is a protocol message addressed to one server.
+	Request = sim.Request
+	// Response is a server's answer to a Request.
+	Response = sim.Response
+	// Op identifies a protocol message type.
+	Op = sim.Op
 )
 
 // Sentinel errors.
 var (
 	// ErrNoLiveQuorum reports that every quorum intersects the failed set.
 	ErrNoLiveQuorum = core.ErrNoLiveQuorum
+	// ErrNoCandidate reports a read that found no value vouched by b+1
+	// servers (possible under concurrency or excessive faults).
+	ErrNoCandidate = sim.ErrNoCandidate
+	// ErrRetriesExhausted reports that live quorums kept containing
+	// unresponsive servers beyond the client's retry budget.
+	ErrRetriesExhausted = sim.ErrRetriesExhausted
 )
 
 // Server fault modes for Cluster.InjectFault.
@@ -82,6 +105,13 @@ const (
 	ByzantineFabricate  = sim.ByzantineFabricate
 	ByzantineStale      = sim.ByzantineStale
 	ByzantineEquivocate = sim.ByzantineEquivocate
+)
+
+// Protocol message types, for custom Transport implementations.
+const (
+	OpReadTimestamps = sim.OpReadTimestamps
+	OpRead           = sim.OpRead
+	OpWrite          = sim.OpWrite
 )
 
 // NewSet returns an empty Set sized for a universe of n servers.
@@ -242,9 +272,43 @@ func CrashLowerBoundB(b int, p float64) float64 { return measures.CrashLowerBoun
 func Prop45Applies(p Parameterized) bool { return measures.Prop45Applies(p) }
 
 // NewCluster builds a simulated server fleet running the [MR98a]
-// replicated-variable protocol over the given b-masking system.
-func NewCluster(system System, b int, seed int64) (*Cluster, error) {
-	return sim.NewCluster(system, b, seed)
+// replicated-variable protocol over the given b-masking system. The fleet
+// is safe for any number of concurrent clients; customize it with
+// functional options:
+//
+//	bqs.NewCluster(sys, b, bqs.WithSeed(42), bqs.WithDropRate(0.01))
+func NewCluster(system System, b int, opts ...ClusterOption) (*Cluster, error) {
+	return sim.NewCluster(system, b, opts...)
+}
+
+// WithSeed seeds the cluster's derived randomness (transport loss/latency
+// draws and per-client quorum selection). The default seed is 1.
+func WithSeed(seed int64) ClusterOption { return sim.WithSeed(seed) }
+
+// WithDropRate makes the network lossy: each response is independently
+// lost with probability p, observed by clients exactly like a crash.
+func WithDropRate(p float64) ClusterOption { return sim.WithDropRate(p) }
+
+// WithLatency assigns each server a fixed round-trip latency drawn
+// uniformly from [base, base+jitter], making deadlines and cancellation
+// observable.
+func WithLatency(base, jitter time.Duration) ClusterOption { return sim.WithLatency(base, jitter) }
+
+// WithTransport installs a custom message layer built by the factory,
+// which receives the cluster's servers (wrap NewInMemoryTransport for
+// middleware, or route elsewhere entirely).
+func WithTransport(f func(servers []*Server) Transport) ClusterOption {
+	return sim.WithTransport(f)
+}
+
+// WithDeterministic probes quorum members sequentially from the calling
+// goroutine, restoring the exactly reproducible single-threaded mode.
+func WithDeterministic() ClusterOption { return sim.WithDeterministic() }
+
+// NewInMemoryTransport returns the stock lossless zero-latency transport
+// over the given servers, for wrapping in WithTransport factories.
+func NewInMemoryTransport(servers []*Server, seed int64) Transport {
+	return sim.NewInMemoryTransport(servers, seed)
 }
 
 // FabricatedValue is the marker value Byzantine fabricators return in the

@@ -1,6 +1,7 @@
 package bqs_test
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -131,18 +132,19 @@ func TestPublicAPISimulation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cluster, err := bqs.NewCluster(sys, 2, 99)
+	cluster, err := bqs.NewCluster(sys, 2, bqs.WithSeed(99))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := cluster.InjectFault(bqs.ByzantineFabricate, 0, 4); err != nil {
 		t.Fatal(err)
 	}
+	ctx := context.Background()
 	w := cluster.NewClient(1)
-	if err := w.Write("public-api"); err != nil {
+	if err := w.Write(ctx, "public-api"); err != nil {
 		t.Fatal(err)
 	}
-	got, err := cluster.NewClient(2).Read()
+	got, err := cluster.NewClient(2).Read(ctx)
 	if err != nil || got.Value != "public-api" {
 		t.Fatalf("read %q err %v", got.Value, err)
 	}

@@ -1,18 +1,29 @@
-// bqs-sim runs the replicated shared-variable protocol of [MR98a] over a
-// chosen b-masking quorum system with injected crash and Byzantine faults,
-// reporting whether every read returned the last written value.
+// bqs-sim drives the replicated shared-variable protocol of [MR98a] over a
+// chosen b-masking quorum system with injected crash and Byzantine faults.
+// It is a throughput harness: any number of concurrent clients issue mixed
+// reads and writes, every probe feeds the cluster's live load profile, and
+// the run ends by comparing the measured busiest-server frequency against
+// the paper's L(Q) lower bounds (Theorem 4.1).
 //
 // Usage:
 //
 //	bqs-sim [-system threshold|grid|mgrid|rt|boostfpp|mpath] [-b 3]
-//	        [-byzantine 3] [-crashed 2] [-ops 100] [-seed 1]
+//	        [-byzantine 3] [-crashed 2] [-clients 8] [-ops 100]
+//	        [-drop 0] [-latency 0] [-jitter 0] [-timeout 0]
+//	        [-deterministic] [-seed 1]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"bqs"
 )
@@ -29,7 +40,13 @@ func run() error {
 	b := flag.Int("b", 3, "masking bound b")
 	byzantine := flag.Int("byzantine", 3, "number of Byzantine (fabricating) servers to inject")
 	crashed := flag.Int("crashed", 0, "number of crashed servers to inject")
-	ops := flag.Int("ops", 100, "write+read operation pairs")
+	clients := flag.Int("clients", 8, "concurrent clients")
+	ops := flag.Int("ops", 100, "operations per client (mixed ~50/50 writes and reads)")
+	drop := flag.Float64("drop", 0, "per-message response-loss probability")
+	latency := flag.Duration("latency", 0, "base per-server round-trip latency")
+	jitter := flag.Duration("jitter", 0, "per-server latency jitter (uniform on [0,jitter])")
+	timeout := flag.Duration("timeout", 0, "per-operation deadline (0 = none)")
+	deterministic := flag.Bool("deterministic", false, "probe sequentially for exact reproducibility")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
@@ -40,7 +57,18 @@ func run() error {
 	fmt.Printf("system: %s (n=%d, b=%d, f=%d)\n",
 		sys.Name(), sys.UniverseSize(), *b, resilienceOf(sys))
 
-	cluster, err := bqs.NewCluster(sys, *b, *seed)
+	opts := []bqs.ClusterOption{bqs.WithSeed(*seed), bqs.WithDropRate(*drop), bqs.WithLatency(*latency, *jitter)}
+	if *deterministic {
+		opts = append(opts, bqs.WithDeterministic())
+		// Reproducibility needs a single-threaded workload: concurrent
+		// clients interleave nondeterministically over the shared servers
+		// and transport rng no matter how probes are issued.
+		if *clients != 1 {
+			fmt.Printf("note: -deterministic forces -clients 1 (was %d)\n", *clients)
+			*clients = 1
+		}
+	}
+	cluster, err := bqs.NewCluster(sys, *b, opts...)
 	if err != nil {
 		return err
 	}
@@ -56,31 +84,72 @@ func run() error {
 		return err
 	}
 	fmt.Printf("faults: %d byzantine (fabricating), %d crashed\n", *byzantine, *crashed)
+	fmt.Printf("workload: %d clients × %d ops (drop=%.3f, latency=%v±%v)\n",
+		*clients, *ops, *drop, *latency, *jitter)
 
-	writer := cluster.NewClient(1)
-	reader := cluster.NewClient(2)
-	ok, bad := 0, 0
-	for i := 0; i < *ops; i++ {
-		want := fmt.Sprintf("value-%04d", i)
-		if err := writer.Write(want); err != nil {
-			return fmt.Errorf("write %d: %w", i, err)
-		}
-		got, err := reader.Read()
-		if err != nil {
-			return fmt.Errorf("read %d: %w", i, err)
-		}
-		if got.Value == want {
-			ok++
-		} else {
-			bad++
-			fmt.Printf("  VIOLATION at op %d: read %q, want %q\n", i, got.Value, want)
-		}
+	var (
+		wg                       sync.WaitGroup
+		reads, writes            atomic.Int64
+		violations, noCandidates atomic.Int64
+		failures                 atomic.Int64
+	)
+	start := time.Now()
+	for id := 0; id < *clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl := cluster.NewClient(id)
+			for op := 0; op < *ops; op++ {
+				opCtx, cancel := context.Background(), context.CancelFunc(func() {})
+				if *timeout > 0 {
+					opCtx, cancel = context.WithTimeout(context.Background(), *timeout)
+				}
+				if (id+op)%2 == 0 {
+					if err := cl.Write(opCtx, fmt.Sprintf("c%d-op%04d", id, op)); err != nil {
+						failures.Add(1)
+					} else {
+						writes.Add(1)
+					}
+					cancel()
+					continue
+				}
+				got, err := cl.Read(opCtx)
+				cancel()
+				switch {
+				case errors.Is(err, bqs.ErrNoCandidate):
+					noCandidates.Add(1)
+				case err != nil:
+					failures.Add(1)
+				case strings.HasPrefix(got.Value, bqs.FabricatedValue):
+					violations.Add(1)
+				default:
+					reads.Add(1)
+				}
+			}
+		}(id)
 	}
-	fmt.Printf("result: %d/%d reads returned the last write (%d violations)\n", ok, *ops, bad)
-	if bad > 0 && *byzantine <= *b {
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := int64(*clients) * int64(*ops)
+	fmt.Printf("result: %d reads ok, %d writes ok, %d no-candidate, %d failed, %d VIOLATIONS\n",
+		reads.Load(), writes.Load(), noCandidates.Load(), failures.Load(), violations.Load())
+	fmt.Printf("throughput: %d ops in %v = %.0f ops/s\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
+
+	peak := cluster.PeakLoad()
+	lower := bqs.LoadLowerBound(sys.UniverseSize(), *b, sys.MinQuorumSize())
+	global := bqs.GlobalLoadLowerBound(sys.UniverseSize(), *b)
+	fmt.Printf("measured load: busiest server at %.4f of quorum accesses\n", peak)
+	fmt.Printf("paper bounds:  L(Q) ≥ %.4f (Thm 4.1), ≥ %.4f (Cor 4.2)\n", lower, global)
+	if *byzantine <= *b && *crashed == 0 && *drop == 0 && peak < lower {
+		fmt.Println("  note: measurement below the lower bound — increase -ops for convergence")
+	}
+
+	if violations.Load() > 0 && *byzantine <= *b {
 		return fmt.Errorf("safety violated within the masking bound — this is a bug")
 	}
-	if bad > 0 {
+	if violations.Load() > 0 {
 		fmt.Println("violations are expected: injected Byzantine faults exceed b")
 	}
 	return nil

@@ -26,7 +26,11 @@
 //     regular quorum system into a b-masking one.
 //   - A simulated replicated shared variable (the [MR98a] protocol) for
 //     exercising the constructions end to end under injected crash and
-//     Byzantine faults.
+//     Byzantine faults: a concurrent, context-aware quorum-access engine
+//     (Cluster/Client over a pluggable Transport) that fans probes out to
+//     quorum members in parallel, supports any number of concurrent
+//     clients, and measures empirical load from live traffic
+//     (Cluster.LoadProfile) for comparison against the Theorem 4.1 bounds.
 //
 // # Quick start
 //
@@ -37,7 +41,14 @@
 //	rng := rand.New(rand.NewSource(1))
 //	quorum, err := sys.SelectQuorum(rng, bqs.NewSet(49)) // no failures
 //
-// The experiment harness that regenerates every table and figure of the
-// paper lives in cmd/bqs-tables and cmd/bqs-figures; see EXPERIMENTS.md
-// for the measured-vs-paper comparison.
+//	cluster, err := bqs.NewCluster(sys, 3, bqs.WithSeed(1))
+//	if err != nil { ... }
+//	client := cluster.NewClient(1)
+//	err = client.Write(ctx, "hello")
+//	tv, err := client.Read(ctx)
+//
+// See README.md for a fuller tour. The experiment harness that
+// regenerates every table and figure of the paper lives in cmd/bqs-tables
+// and cmd/bqs-figures; see EXPERIMENTS.md for how to run it and compare
+// measured numbers against the paper's.
 package bqs

@@ -1,6 +1,7 @@
 package bqs_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -105,7 +106,7 @@ func ExampleCluster() {
 		fmt.Println(err)
 		return
 	}
-	cluster, err := bqs.NewCluster(sys, 2, 1)
+	cluster, err := bqs.NewCluster(sys, 2, bqs.WithSeed(1))
 	if err != nil {
 		fmt.Println(err)
 		return
@@ -114,12 +115,13 @@ func ExampleCluster() {
 		fmt.Println(err)
 		return
 	}
+	ctx := context.Background()
 	writer := cluster.NewClient(1)
-	if err := writer.Write("hello"); err != nil {
+	if err := writer.Write(ctx, "hello"); err != nil {
 		fmt.Println(err)
 		return
 	}
-	got, err := cluster.NewClient(2).Read()
+	got, err := cluster.NewClient(2).Read(ctx)
 	if err != nil {
 		fmt.Println(err)
 		return

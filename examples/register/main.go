@@ -2,13 +2,16 @@
 // b-masking quorum system (the [MR98a] protocol the paper's constructions
 // were designed for). The demo injects Byzantine servers that fabricate
 // values with sky-high timestamps plus a few crashes, and shows reads
-// still returning the last written value — then pushes past 2b+1
-// fabricators to show exactly where the guarantee breaks.
+// still returning the last written value — then hammers the cluster with
+// concurrent readers to measure its live load, and finally pushes past
+// 2b+1 fabricators to show exactly where the guarantee breaks.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sync"
 
 	"bqs"
 )
@@ -20,12 +23,13 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	const b = 3
 	sys, err := bqs.NewMaskingThreshold(4*b+1, b) // 13 servers, quorums of 10
 	if err != nil {
 		return err
 	}
-	cluster, err := bqs.NewCluster(sys, b, 42)
+	cluster, err := bqs.NewCluster(sys, b, bqs.WithSeed(42))
 	if err != nil {
 		return err
 	}
@@ -45,10 +49,10 @@ func run() error {
 	reader := cluster.NewClient(2)
 	for i := 1; i <= 3; i++ {
 		value := fmt.Sprintf("ledger-entry-%d", i)
-		if err := writer.Write(value); err != nil {
+		if err := writer.Write(ctx, value); err != nil {
 			return err
 		}
-		got, err := reader.Read()
+		got, err := reader.Read(ctx)
 		if err != nil {
 			return err
 		}
@@ -59,13 +63,34 @@ func run() error {
 		fmt.Printf("  write %q → read %q  [%s]\n", value, got.Value, status)
 	}
 
+	// Saturate the cluster with concurrent readers; every probe feeds the
+	// live load profile, whose peak Theorem 4.1 lower-bounds.
+	var wg sync.WaitGroup
+	for id := 0; id < 16; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl := cluster.NewClient(100 + id)
+			for op := 0; op < 50; op++ {
+				if _, err := cl.Read(ctx); err != nil {
+					fmt.Printf("  concurrent reader %d: %v\n", id, err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	fmt.Printf("\n16 concurrent readers × 50 reads: peak server load %.3f "+
+		"(Theorem 4.1 bound ≥ %.3f)\n",
+		cluster.PeakLoad(), bqs.LoadLowerBound(sys.UniverseSize(), b, sys.MinQuorumSize()))
+
 	// Now exceed the bound: 2b+1 colluding fabricators control every
 	// quorum intersection, and the fabricated value wins.
 	if err := cluster.InjectFault(bqs.ByzantineFabricate, 0, 1, 3, 4); err != nil {
 		return err
 	}
 	fmt.Println("\nescalating to 2b+1 = 7 fabricators (past the masking bound)...")
-	got, err := reader.Read()
+	got, err := reader.Read(ctx)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,3 @@
+module bqs
+
+go 1.24

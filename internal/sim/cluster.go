@@ -1,30 +1,126 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"bqs/internal/bitset"
 	"bqs/internal/core"
 )
 
-// Cluster is a set of servers fronted by a b-masking quorum system.
-type Cluster struct {
-	system  core.System
-	b       int
-	servers []*Server
+// config collects the NewCluster functional options.
+type config struct {
+	seed       int64
+	dropRate   float64
+	latBase    time.Duration
+	latJitter  time.Duration
+	sequential bool
+	transport  func(servers []*Server) Transport
+}
 
-	mu       sync.Mutex
-	rng      *rand.Rand
-	dropRate float64 // per-message response-loss probability
+// Option configures a Cluster at construction time.
+type Option func(*config) error
+
+// WithSeed seeds every source of randomness the cluster derives: the
+// transport's drop/latency rng and each client's quorum-selection rng
+// (client i draws from a stream determined by seed and i). The default
+// seed is 1.
+func WithSeed(seed int64) Option {
+	return func(c *config) error {
+		c.seed = seed
+		return nil
+	}
+}
+
+// WithDropRate makes the network lossy: every response is independently
+// lost with probability p, which clients observe exactly like a crash
+// (and handle by suspecting the server and re-selecting quorums). Use
+// modest rates; suspected servers are only rehabilitated when suspicion
+// exhausts the quorum space, so a very lossy network degenerates into
+// retry churn, as a real fail-stop detector would.
+func WithDropRate(p float64) Option {
+	return func(c *config) error {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("sim: drop rate %g outside [0,1]", p)
+		}
+		c.dropRate = p
+		return nil
+	}
+}
+
+// WithLatency gives each server a fixed round-trip latency drawn uniformly
+// from [base, base+jitter] when the cluster is built, modelling a
+// heterogeneous fleet. Probes sleep out the latency (interruptibly — a
+// done context aborts the wait), so deadlines and cancellation become
+// observable in tests and benchmarks.
+func WithLatency(base, jitter time.Duration) Option {
+	return func(c *config) error {
+		if base < 0 || jitter < 0 {
+			return fmt.Errorf("sim: negative latency (base %v, jitter %v)", base, jitter)
+		}
+		c.latBase, c.latJitter = base, jitter
+		return nil
+	}
+}
+
+// WithTransport installs a custom Transport built by the given factory,
+// which receives the cluster's freshly constructed servers (wrap them, or
+// ignore them and route elsewhere). Overrides WithDropRate and WithLatency
+// — loss and latency become the custom transport's business — and disables
+// Cluster.SetDropRate.
+func WithTransport(f func(servers []*Server) Transport) Option {
+	return func(c *config) error {
+		if f == nil {
+			return errors.New("sim: nil transport factory")
+		}
+		c.transport = f
+		return nil
+	}
+}
+
+// WithDeterministic switches the cluster to single-threaded probing:
+// quorum members are contacted sequentially in ascending server order from
+// the calling goroutine instead of in parallel goroutines. With a fixed
+// WithSeed and one client per goroutine, runs are exactly reproducible —
+// the mode the original synchronous simulator provided.
+func WithDeterministic() Option {
+	return func(c *config) error {
+		c.sequential = true
+		return nil
+	}
+}
+
+// Cluster is a set of servers fronted by a b-masking quorum system. It is
+// safe for any number of concurrent clients: per-server bookkeeping is
+// atomic, and all shared randomness lives behind the transport.
+type Cluster struct {
+	system     core.System
+	b          int
+	servers    []*Server
+	transport  Transport
+	mem        *memTransport // non-nil when the built-in transport is in use
+	seed       int64
+	sequential bool
+
+	// Empirical load accounting: phases counts quorum accesses (one per
+	// protocol phase — a read, a timestamp collection, or a store), and
+	// accesses[i] counts probes that reached server i. Their ratio is the
+	// access frequency the paper's load (Definition 3.8) bounds.
+	phases   atomic.Int64
+	accesses []atomic.Int64
 }
 
 // NewCluster builds a cluster with one server per universe element. b is
 // the masking bound the protocol should defend (usually the system's
-// MaskingBound).
-func NewCluster(system core.System, b int, seed int64) (*Cluster, error) {
+// MaskingBound). Behavior is customized with functional options:
+//
+//	NewCluster(sys, b, WithSeed(42), WithDropRate(0.01), WithLatency(time.Millisecond, time.Millisecond))
+func NewCluster(system core.System, b int, opts ...Option) (*Cluster, error) {
 	if b < 0 {
 		return nil, fmt.Errorf("sim: masking bound %d must be non-negative", b)
 	}
@@ -32,24 +128,40 @@ func NewCluster(system core.System, b int, seed int64) (*Cluster, error) {
 		return nil, fmt.Errorf("sim: system %s masks only %d < requested b=%d",
 			system.Name(), m.MaskingBound(), b)
 	}
+	cfg := config{seed: 1}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
 	n := system.UniverseSize()
 	servers := make([]*Server, n)
 	for i := range servers {
 		servers[i] = NewServer(i)
 	}
-	return &Cluster{
-		system:  system,
-		b:       b,
-		servers: servers,
-		rng:     rand.New(rand.NewSource(seed)),
-	}, nil
+	c := &Cluster{
+		system:     system,
+		b:          b,
+		servers:    servers,
+		seed:       cfg.seed,
+		sequential: cfg.sequential,
+		accesses:   make([]atomic.Int64, n),
+	}
+	if cfg.transport != nil {
+		c.transport = cfg.transport(servers)
+	} else {
+		c.mem = newMemTransport(servers, cfg.seed, cfg.dropRate, cfg.latBase, cfg.latJitter)
+		c.transport = c.mem
+	}
+	return c, nil
 }
 
 // System returns the quorum system; B returns the masking bound; N the
-// number of servers.
-func (c *Cluster) System() core.System { return c.system }
-func (c *Cluster) B() int              { return c.b }
-func (c *Cluster) N() int              { return len(c.servers) }
+// number of servers; Transport the installed message layer.
+func (c *Cluster) System() core.System  { return c.system }
+func (c *Cluster) B() int               { return c.b }
+func (c *Cluster) N() int               { return len(c.servers) }
+func (c *Cluster) Transport() Transport { return c.transport }
 
 // Server returns server i (for fault injection and assertions).
 func (c *Cluster) Server(i int) *Server { return c.servers[i] }
@@ -78,59 +190,134 @@ func (c *Cluster) FaultCounts() (crashed, byzantine int) {
 	return crashed, byzantine
 }
 
-// SetDropRate makes the network lossy: every response is independently
-// lost with probability p, which clients observe exactly like a crash
-// (and handle by suspecting the server and re-selecting quorums). Use
-// modest rates; suspected servers are never rehabilitated, so a very
-// lossy network eventually exhausts the quorum space, as a real
-// fail-stop detector would.
+// SetDropRate adjusts the built-in transport's message-loss probability at
+// runtime. It fails when a custom transport was installed.
 func (c *Cluster) SetDropRate(p float64) error {
 	if p < 0 || p > 1 {
 		return fmt.Errorf("sim: drop rate %g outside [0,1]", p)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.dropRate = p
+	if c.mem == nil {
+		return errors.New("sim: SetDropRate: cluster uses a custom transport")
+	}
+	c.mem.setDropRate(p)
 	return nil
 }
 
-// dropped rolls the message-loss dice.
-func (c *Cluster) dropped() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.dropRate > 0 && c.rng.Float64() < c.dropRate
-}
-
-// readFrom probes server i, subject to network loss.
-func (c *Cluster) readFrom(i, readerID int) (TaggedValue, bool) {
-	if c.dropped() {
-		return TaggedValue{}, false
+// LoadProfile returns the empirical per-server access frequencies observed
+// since construction (or the last ResetLoadProfile): entry i is the
+// fraction of quorum accesses that touched server i. Under balanced
+// fault-free traffic the maximum entry converges to the load induced by
+// the system's selection strategy, which Theorem 4.1 lower-bounds by
+// max{(2b+1)/c, c/n} — this is the live-traffic counterpart of
+// measures.EmpiricalLoad's offline sampling.
+func (c *Cluster) LoadProfile() []float64 {
+	out := make([]float64, len(c.servers))
+	phases := c.phases.Load()
+	if phases == 0 {
+		return out
 	}
-	return c.servers[i].HandleRead(readerID)
-}
-
-// writeTo stores at server i, subject to network loss.
-func (c *Cluster) writeTo(i int, tv TaggedValue) bool {
-	if c.dropped() {
-		return false
+	for i := range out {
+		out[i] = float64(c.accesses[i].Load()) / float64(phases)
 	}
-	return c.servers[i].HandleWrite(tv)
+	return out
 }
 
-// pickQuorum selects a quorum avoiding the suspected-dead set.
-func (c *Cluster) pickQuorum(suspected bitset.Set) (bitset.Set, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.system.SelectQuorum(c.rng, suspected)
+// PeakLoad returns the maximum entry of LoadProfile — the empirical load
+// L(Q) of Definition 3.8 as measured from live traffic.
+func (c *Cluster) PeakLoad() float64 {
+	max := 0.0
+	for _, f := range c.LoadProfile() {
+		if f > max {
+			max = f
+		}
+	}
+	return max
 }
 
-// Client accesses the replicated variable through quorums.
+// ResetLoadProfile zeroes the access counters (e.g. after a warm-up).
+func (c *Cluster) ResetLoadProfile() {
+	c.phases.Store(0)
+	for i := range c.accesses {
+		c.accesses[i].Store(0)
+	}
+}
+
+// invoke routes one probe through the transport, counting it toward the
+// load profile.
+func (c *Cluster) invoke(ctx context.Context, server int, req Request) (Response, error) {
+	c.accesses[server].Add(1)
+	return c.transport.Invoke(ctx, server, req)
+}
+
+// probeQuorum sends req to every member of q — in parallel goroutines, or
+// sequentially in ascending order under WithDeterministic — and returns
+// the responses by server id. The only error it returns is a transport
+// failure (typically ctx cancellation or expiry); unresponsive servers
+// appear as Response{OK: false}.
+func (c *Cluster) probeQuorum(ctx context.Context, q bitset.Set, req Request) (map[int]Response, error) {
+	c.phases.Add(1)
+	members := q.Elements()
+	out := make(map[int]Response, len(members))
+	if c.sequential {
+		for _, i := range members {
+			resp, err := c.invoke(ctx, i, req)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = resp
+		}
+		return out, nil
+	}
+	type result struct {
+		id   int
+		resp Response
+		err  error
+	}
+	results := make(chan result, len(members))
+	for _, i := range members {
+		go func(i int) {
+			resp, err := c.invoke(ctx, i, req)
+			results <- result{i, resp, err}
+		}(i)
+	}
+	var firstErr error
+	for range members {
+		r := <-results
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		out[r.id] = r.resp
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// clientRNG derives an independent deterministic random stream for client
+// id from the cluster seed.
+func (c *Cluster) clientRNG(id int) *rand.Rand {
+	// SplitMix64-style odd multiplier keeps nearby ids uncorrelated.
+	return rand.New(rand.NewSource(c.seed + (int64(id)+1)*-0x61c8864680b583eb))
+}
+
+// Client accesses the replicated variable through quorums. Each client
+// owns its rng and suspicion state, so distinct clients can run
+// concurrently without sharing anything but the cluster; a single Client
+// is additionally serialized by an internal mutex, so sharing one across
+// goroutines is safe (operations just queue).
 type Client struct {
-	id        int
-	cluster   *Cluster
-	suspected bitset.Set // servers observed unresponsive
+	id      int
+	cluster *Cluster
 	// MaxRetries bounds quorum re-selection on unresponsiveness.
 	MaxRetries int
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	suspected bitset.Set // servers observed unresponsive
 }
 
 // Protocol errors.
@@ -145,7 +332,13 @@ var (
 
 // NewClient attaches a client to the cluster.
 func (c *Cluster) NewClient(id int) *Client {
-	return &Client{id: id, cluster: c, suspected: bitset.New(c.N()), MaxRetries: 32}
+	return &Client{
+		id:         id,
+		cluster:    c,
+		MaxRetries: 32,
+		rng:        c.clientRNG(id),
+		suspected:  bitset.New(c.N()),
+	}
 }
 
 // quorumOrForgive picks a quorum avoiding suspects; when suspicion has
@@ -153,22 +346,25 @@ func (c *Cluster) NewClient(id int) *Client {
 // and retries — transient message loss must not permanently shrink the
 // live set (crashed servers will simply be re-suspected).
 func (cl *Client) quorumOrForgive() (bitset.Set, error) {
-	q, err := cl.cluster.pickQuorum(cl.suspected)
+	q, err := cl.cluster.system.SelectQuorum(cl.rng, cl.suspected)
 	if err == nil {
 		return q, nil
 	}
 	if errors.Is(err, core.ErrNoLiveQuorum) && !cl.suspected.Empty() {
 		cl.suspected = bitset.New(cl.cluster.N())
-		return cl.cluster.pickQuorum(cl.suspected)
+		return cl.cluster.system.SelectQuorum(cl.rng, cl.suspected)
 	}
 	return bitset.Set{}, err
 }
 
 // Write performs the [MR98a] write: obtain a timestamp greater than any in
-// some quorum, then store (value, ts) at every member of a quorum.
-func (cl *Client) Write(value string) error {
+// some quorum, then store (value, ts) at every member of a quorum. It
+// returns as soon as ctx is done, with an error wrapping ctx.Err().
+func (cl *Client) Write(ctx context.Context, value string) error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
 	// Phase 1: read timestamps from a quorum.
-	maxTS, err := cl.maxTimestamp()
+	maxTS, err := cl.maxTimestamp(ctx)
 	if err != nil {
 		return fmt.Errorf("sim: write: %w", err)
 	}
@@ -180,85 +376,103 @@ func (cl *Client) Write(value string) error {
 		if err != nil {
 			return fmt.Errorf("sim: write: %w", err)
 		}
-		if cl.pushToQuorum(q, tv) {
+		replies, err := cl.cluster.probeQuorum(ctx, q, Request{Op: OpWrite, Value: tv})
+		if err != nil {
+			return fmt.Errorf("sim: write: %w", err)
+		}
+		ok := true
+		for id, resp := range replies {
+			if !resp.OK {
+				cl.suspected.Add(id)
+				ok = false
+			}
+		}
+		if ok {
 			return nil
 		}
 	}
 	return fmt.Errorf("sim: write: %w", ErrRetriesExhausted)
 }
 
-func (cl *Client) pushToQuorum(q bitset.Set, tv TaggedValue) bool {
-	ok := true
-	q.Range(func(i int) bool {
-		if !cl.cluster.writeTo(i, tv) {
-			cl.suspected.Add(i)
-			ok = false
-		}
-		return true
-	})
-	return ok
-}
-
 // maxTimestamp collects timestamps from a full quorum. Byzantine servers
 // may report inflated timestamps; that only pushes the clock forward,
 // which is harmless for safety (MR98a discusses bounding this; we accept
 // it as the paper's protocol does).
-func (cl *Client) maxTimestamp() (Timestamp, error) {
+func (cl *Client) maxTimestamp(ctx context.Context) (Timestamp, error) {
 	for attempt := 0; attempt < cl.MaxRetries; attempt++ {
 		q, err := cl.quorumOrForgive()
 		if err != nil {
 			return Timestamp{}, err
 		}
-		var max Timestamp
-		complete := true
+		replies, err := cl.cluster.probeQuorum(ctx, q, Request{Op: OpReadTimestamps, ReaderID: cl.id})
+		if err != nil {
+			return Timestamp{}, err
+		}
 		// To keep fabricated timestamps from exploding the clock, accept
 		// only timestamps vouched by b+1 members — the same masking rule
 		// reads use.
 		votes := make(map[Timestamp]int)
-		q.Range(func(i int) bool {
-			tv, alive := cl.cluster.readFrom(i, cl.id)
-			if !alive {
-				cl.suspected.Add(i)
+		complete := true
+		for id, resp := range replies {
+			if !resp.OK {
+				cl.suspected.Add(id)
 				complete = false
-				return false
+				continue
 			}
-			votes[tv.TS]++
-			return true
-		})
+			votes[resp.Value.TS]++
+		}
 		if !complete {
 			continue
 		}
+		// Under concurrency the quorum can catch several writes in flight,
+		// each vouched by fewer than b+1 servers. Falling back to the zero
+		// timestamp here would let this write be ordered before values
+		// already committed — a silent lost update — so retry until some
+		// timestamp (possibly the initial zero one) is properly vouched.
+		var max Timestamp
+		vouched := false
 		for ts, n := range votes {
-			if n >= cl.cluster.b+1 && max.Less(ts) {
-				max = ts
+			if n >= cl.cluster.b+1 {
+				vouched = true
+				if max.Less(ts) {
+					max = ts
+				}
 			}
+		}
+		if !vouched {
+			continue
 		}
 		return max, nil
 	}
 	return Timestamp{}, ErrRetriesExhausted
 }
 
-// Read performs the [MR98a] masking read: gather answers from a quorum,
-// keep pairs vouched for by ≥ b+1 members, return the one with the
-// highest timestamp.
-func (cl *Client) Read() (TaggedValue, error) {
+// Read performs the [MR98a] masking read: gather answers from a quorum in
+// parallel, keep pairs vouched for by ≥ b+1 members, return the one with
+// the highest timestamp. It returns as soon as ctx is done, with an error
+// wrapping ctx.Err().
+func (cl *Client) Read(ctx context.Context) (TaggedValue, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
 	for attempt := 0; attempt < cl.MaxRetries; attempt++ {
 		q, err := cl.quorumOrForgive()
 		if err != nil {
 			return TaggedValue{}, fmt.Errorf("sim: read: %w", err)
 		}
+		replies, err := cl.cluster.probeQuorum(ctx, q, Request{Op: OpRead, ReaderID: cl.id})
+		if err != nil {
+			return TaggedValue{}, fmt.Errorf("sim: read: %w", err)
+		}
 		votes := make(map[TaggedValue]int)
 		complete := true
-		q.Range(func(i int) bool {
-			tv, alive := cl.cluster.readFrom(i, cl.id)
-			if !alive {
-				cl.suspected.Add(i)
+		for id, resp := range replies {
+			if !resp.OK {
+				cl.suspected.Add(id)
 				complete = false
-				return false
+				continue
 			}
-			votes[tv]++
-			return true
-		})
+			votes[resp.Value]++
+		}
 		if !complete {
 			continue
 		}

@@ -1,0 +1,355 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bqs/internal/systems"
+)
+
+// TestConcurrentClientsStress drives ≥ 64 concurrent clients of mixed
+// reads and writes against a cluster with exactly b Byzantine fabricators
+// and checks the masking guarantee holds under contention: no read ever
+// surfaces a fabricated value. Run with -race; the engine must be clean.
+func TestConcurrentClientsStress(t *testing.T) {
+	const (
+		clients = 64
+		ops     = 24
+		b       = 3
+	)
+	sys, err := systems.NewMaskingThreshold(4*b+1, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(sys, b, WithSeed(101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectFault(ByzantineFabricate, 0, 5, 9); err != nil { // exactly b
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	var reads, writes, noCandidate atomic.Int64
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl := c.NewClient(id)
+			for op := 0; op < ops; op++ {
+				if (id+op)%2 == 0 {
+					if err := cl.Write(ctx, fmt.Sprintf("c%d-op%d", id, op)); err != nil {
+						t.Errorf("client %d write %d: %v", id, op, err)
+						return
+					}
+					writes.Add(1)
+					continue
+				}
+				got, err := cl.Read(ctx)
+				switch {
+				case errors.Is(err, ErrNoCandidate):
+					// Legitimate under concurrency: a read overlapping a
+					// write in progress may find no value vouched b+1 times.
+					noCandidate.Add(1)
+				case err != nil:
+					t.Errorf("client %d read %d: %v", id, op, err)
+					return
+				case strings.HasPrefix(got.Value, FabricatedValue):
+					t.Errorf("client %d read fabricated value %q with only b=%d fabricators", id, got.Value, b)
+					return
+				case got.Value != "" && !strings.HasPrefix(got.Value, "c"):
+					t.Errorf("client %d read unknown value %q", id, got.Value)
+					return
+				default:
+					reads.Add(1)
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	if reads.Load() == 0 || writes.Load() == 0 {
+		t.Fatalf("degenerate workload: %d reads, %d writes", reads.Load(), writes.Load())
+	}
+	t.Logf("stress: %d reads, %d writes, %d no-candidate retries", reads.Load(), writes.Load(), noCandidate.Load())
+}
+
+// TestConcurrentDisseminationClients gives the second protocol the same
+// -race workout: concurrent signed writers and readers must only ever
+// observe verified values.
+func TestConcurrentDisseminationClients(t *testing.T) {
+	const b = 2
+	sys, err := systems.NewDisseminationThreshold(3*b+1, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(sys, 0, WithSeed(103))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectFault(ByzantineFabricate, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	auth := NewAuthenticator()
+	var wg sync.WaitGroup
+	for id := 0; id < 16; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			dc := c.NewDisseminationClient(id, auth)
+			for op := 0; op < 10; op++ {
+				if id%2 == 0 {
+					if err := dc.Write(ctx, fmt.Sprintf("s%d-%d", id, op)); err != nil {
+						t.Errorf("client %d: %v", id, err)
+						return
+					}
+					continue
+				}
+				got, err := dc.Read(ctx)
+				if err != nil && !errors.Is(err, ErrNoCandidate) {
+					t.Errorf("client %d: %v", id, err)
+					return
+				}
+				if err == nil && got.Value != "" && !auth.Verify(got) {
+					t.Errorf("client %d read unverified %q", id, got.Value)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+}
+
+// TestCanceledContextAborts checks that an already-canceled context makes
+// Read and Write fail immediately with context.Canceled.
+func TestCanceledContextAborts(t *testing.T) {
+	c, err := NewCluster(mustThreshold(t, 2), 2, WithSeed(107))
+	if err != nil {
+		t.Fatal(err)
+	}
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	cl := c.NewClient(1)
+	if _, err := cl.Read(canceled); !errors.Is(err, context.Canceled) {
+		t.Errorf("read err = %v, want context.Canceled", err)
+	}
+	if err := cl.Write(canceled, "never"); !errors.Is(err, context.Canceled) {
+		t.Errorf("write err = %v, want context.Canceled", err)
+	}
+	dc := c.NewDisseminationClient(2, NewAuthenticator())
+	if _, err := dc.Read(canceled); !errors.Is(err, context.Canceled) {
+		t.Errorf("dissemination read err = %v, want context.Canceled", err)
+	}
+	if err := dc.Write(canceled, "never"); !errors.Is(err, context.Canceled) {
+		t.Errorf("dissemination write err = %v, want context.Canceled", err)
+	}
+}
+
+// TestDeadlineAbortsSlowProbes models a slow fleet (50ms round trips) and
+// checks that a 5ms deadline aborts the in-flight probes promptly with
+// context.DeadlineExceeded instead of sleeping out the latency.
+func TestDeadlineAbortsSlowProbes(t *testing.T) {
+	c, err := NewCluster(mustThreshold(t, 2), 2,
+		WithSeed(109), WithLatency(50*time.Millisecond, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := c.NewClient(1)
+	start := time.Now()
+	deadlined, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := cl.Read(deadlined); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("read err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 40*time.Millisecond {
+		t.Fatalf("read took %v; deadline should abort well before the 50ms latency", elapsed)
+	}
+}
+
+// TestLoadProfileTracksPaperLoad is the acceptance experiment: balanced
+// concurrent traffic against a fault-free M-Grid(7,3) must produce a
+// busiest-server access frequency within 15% of the construction's
+// analytic load L(Q) = c/n (Propositions 3.9 and 5.2).
+func TestLoadProfileTracksPaperLoad(t *testing.T) {
+	mg, err := systems.NewMGrid(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(mg, 3, WithSeed(113))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for id := 0; id < 32; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl := c.NewClient(id)
+			for op := 0; op < 60; op++ {
+				if op%6 == 0 {
+					if err := cl.Write(ctx, fmt.Sprintf("v%d-%d", id, op)); err != nil {
+						t.Errorf("client %d: %v", id, err)
+						return
+					}
+					continue
+				}
+				if _, err := cl.Read(ctx); err != nil && !errors.Is(err, ErrNoCandidate) {
+					t.Errorf("client %d: %v", id, err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	want := mg.Load() // 24/49 ≈ 0.49, optimal per Proposition 5.2
+	got := c.PeakLoad()
+	if got < 0.85*want || got > 1.15*want {
+		t.Fatalf("peak empirical load %.4f outside ±15%% of analytic L(Q) = %.4f", got, want)
+	}
+	profile := c.LoadProfile()
+	if len(profile) != mg.UniverseSize() {
+		t.Fatalf("profile has %d entries, want %d", len(profile), mg.UniverseSize())
+	}
+	sum := 0.0
+	for _, f := range profile {
+		sum += f
+	}
+	// Each quorum touches c(Q) = 24 of 49 servers, so fractions sum to ≈ c.
+	if cQ := float64(mg.MinQuorumSize()); sum < 0.95*cQ || sum > 1.05*cQ {
+		t.Fatalf("profile sums to %.2f, want ≈ c(Q) = %.0f", sum, cQ)
+	}
+	t.Logf("peak load %.4f vs analytic %.4f (%+.1f%%)", got, want, 100*(got/want-1))
+}
+
+// TestResetLoadProfile checks the counters can be zeroed (e.g. to discard
+// a warm-up phase).
+func TestResetLoadProfile(t *testing.T) {
+	c, err := NewCluster(mustThreshold(t, 1), 1, WithSeed(127))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := c.NewClient(1)
+	if err := cl.Write(ctx, "warm"); err != nil {
+		t.Fatal(err)
+	}
+	if c.PeakLoad() == 0 {
+		t.Fatal("expected non-zero load after a write")
+	}
+	c.ResetLoadProfile()
+	if c.PeakLoad() != 0 {
+		t.Fatal("expected zero load after reset")
+	}
+}
+
+// TestDeterministicModeReproducible runs the same seeded workload twice in
+// single-threaded mode over a lossy network and demands identical
+// per-server access profiles — the reproducibility contract of
+// WithDeterministic.
+func TestDeterministicModeReproducible(t *testing.T) {
+	run := func() []float64 {
+		c, err := NewCluster(mustThreshold(t, 2), 2,
+			WithSeed(131), WithDropRate(0.05), WithDeterministic())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := c.NewClient(1)
+		cl.MaxRetries = 64
+		for i := 0; i < 20; i++ {
+			if err := cl.Write(ctx, fmt.Sprintf("d%d", i)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := cl.Read(ctx); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.LoadProfile()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("server %d: %.6f vs %.6f — deterministic runs diverged", i, a[i], b[i])
+		}
+	}
+}
+
+// countingTransport wraps another Transport and tallies invocations, the
+// middleware pattern WithTransport is designed for.
+type countingTransport struct {
+	inner Transport
+	calls atomic.Int64
+}
+
+func (ct *countingTransport) Invoke(ctx context.Context, server int, req Request) (Response, error) {
+	ct.calls.Add(1)
+	return ct.inner.Invoke(ctx, server, req)
+}
+
+func TestWithTransportMiddleware(t *testing.T) {
+	var counter *countingTransport
+	c, err := NewCluster(mustThreshold(t, 2), 2,
+		WithTransport(func(servers []*Server) Transport {
+			counter = &countingTransport{inner: NewInMemoryTransport(servers, 7)}
+			return counter
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := c.NewClient(1)
+	if err := cl.Write(ctx, "traced"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Read(ctx)
+	if err != nil || got.Value != "traced" {
+		t.Fatalf("read %q (%v), want traced", got.Value, err)
+	}
+	// Write = timestamp quorum + store quorum, read = one quorum: with
+	// quorums of 7 on Threshold(9,7), that is 21 probes.
+	if calls := counter.calls.Load(); calls < 21 {
+		t.Fatalf("middleware saw %d calls, want ≥ 21", calls)
+	}
+	// The custom transport owns loss behavior; runtime adjustment of the
+	// built-in knob must refuse.
+	if err := c.SetDropRate(0.5); err == nil {
+		t.Fatal("SetDropRate should fail with a custom transport")
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	sys := mustThreshold(t, 2)
+	if _, err := NewCluster(sys, 2, WithDropRate(-0.1)); err == nil {
+		t.Error("negative drop rate should fail")
+	}
+	if _, err := NewCluster(sys, 2, WithDropRate(1.5)); err == nil {
+		t.Error("drop rate > 1 should fail")
+	}
+	if _, err := NewCluster(sys, 2, WithLatency(-time.Second, 0)); err == nil {
+		t.Error("negative latency should fail")
+	}
+	if _, err := NewCluster(sys, 2, WithTransport(nil)); err == nil {
+		t.Error("nil transport factory should fail")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for _, op := range []Op{OpReadTimestamps, OpRead, OpWrite, Op(42)} {
+		if op.String() == "" {
+			t.Errorf("empty name for op %d", int(op))
+		}
+	}
+}
+
+// mustThreshold returns the 4b+1-server masking threshold used throughout.
+func mustThreshold(t *testing.T, b int) *systems.Threshold {
+	t.Helper()
+	sys, err := systems.NewMaskingThreshold(4*b+1, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}

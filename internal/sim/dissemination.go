@@ -1,10 +1,14 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 
 	"bqs/internal/bitset"
+	"bqs/internal/core"
 )
 
 // This file implements the OTHER quorum variety of [MR98a] that the paper
@@ -48,14 +52,19 @@ func (a *Authenticator) Verify(tv TaggedValue) bool {
 // DisseminationClient accesses the replicated variable with the
 // dissemination protocol: reads return the highest-timestamped VERIFIED
 // value from a quorum, with no b+1 vouching requirement. It needs the
-// quorum system to have IS ≥ b+1 rather than 2b+1.
+// quorum system to have IS ≥ b+1 rather than 2b+1. Like Client, it owns
+// its rng and suspicion state and serializes its own operations, so any
+// number of dissemination clients can run concurrently.
 type DisseminationClient struct {
 	id   int
 	c    *Cluster
 	auth *Authenticator
 	// MaxRetries bounds quorum re-selection on unresponsiveness.
 	MaxRetries int
-	suspected  bitset.Set
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	suspected bitset.Set
 }
 
 // NewDisseminationClient attaches a dissemination-protocol client.
@@ -63,18 +72,19 @@ func (c *Cluster) NewDisseminationClient(id int, auth *Authenticator) *Dissemina
 	return &DisseminationClient{
 		id: id, c: c, auth: auth,
 		MaxRetries: 32,
+		rng:        c.clientRNG(id),
 		suspected:  bitset.New(c.N()),
 	}
 }
 
 func (dc *DisseminationClient) quorumOrForgive() (bitset.Set, error) {
-	q, err := dc.c.pickQuorum(dc.suspected)
+	q, err := dc.c.system.SelectQuorum(dc.rng, dc.suspected)
 	if err == nil {
 		return q, nil
 	}
-	if !dc.suspected.Empty() {
+	if errors.Is(err, core.ErrNoLiveQuorum) && !dc.suspected.Empty() {
 		dc.suspected = bitset.New(dc.c.N())
-		return dc.c.pickQuorum(dc.suspected)
+		return dc.c.system.SelectQuorum(dc.rng, dc.suspected)
 	}
 	return bitset.Set{}, err
 }
@@ -82,8 +92,10 @@ func (dc *DisseminationClient) quorumOrForgive() (bitset.Set, error) {
 // Write signs (value, ts) and stores it at every member of a quorum. The
 // timestamp phase accepts the max VERIFIED timestamp seen — Byzantine
 // servers cannot inflate the clock because they cannot sign.
-func (dc *DisseminationClient) Write(value string) error {
-	maxTS, err := dc.maxVerifiedTimestamp()
+func (dc *DisseminationClient) Write(ctx context.Context, value string) error {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	maxTS, err := dc.maxVerifiedTimestamp(ctx)
 	if err != nil {
 		return fmt.Errorf("sim: dissemination write: %w", err)
 	}
@@ -94,14 +106,17 @@ func (dc *DisseminationClient) Write(value string) error {
 		if err != nil {
 			return fmt.Errorf("sim: dissemination write: %w", err)
 		}
+		replies, err := dc.c.probeQuorum(ctx, q, Request{Op: OpWrite, Value: tv})
+		if err != nil {
+			return fmt.Errorf("sim: dissemination write: %w", err)
+		}
 		ok := true
-		q.Range(func(i int) bool {
-			if !dc.c.writeTo(i, tv) {
-				dc.suspected.Add(i)
+		for id, resp := range replies {
+			if !resp.OK {
+				dc.suspected.Add(id)
 				ok = false
 			}
-			return true
-		})
+		}
 		if ok {
 			return nil
 		}
@@ -109,26 +124,28 @@ func (dc *DisseminationClient) Write(value string) error {
 	return fmt.Errorf("sim: dissemination write: %w", ErrRetriesExhausted)
 }
 
-func (dc *DisseminationClient) maxVerifiedTimestamp() (Timestamp, error) {
+func (dc *DisseminationClient) maxVerifiedTimestamp(ctx context.Context) (Timestamp, error) {
 	for attempt := 0; attempt < dc.MaxRetries; attempt++ {
 		q, err := dc.quorumOrForgive()
 		if err != nil {
 			return Timestamp{}, err
 		}
+		replies, err := dc.c.probeQuorum(ctx, q, Request{Op: OpReadTimestamps, ReaderID: dc.id})
+		if err != nil {
+			return Timestamp{}, err
+		}
 		var max Timestamp
 		complete := true
-		q.Range(func(i int) bool {
-			tv, alive := dc.c.readFrom(i, dc.id)
-			if !alive {
-				dc.suspected.Add(i)
+		for id, resp := range replies {
+			if !resp.OK {
+				dc.suspected.Add(id)
 				complete = false
-				return false
+				continue
 			}
-			if dc.auth.Verify(tv) && max.Less(tv.TS) {
-				max = tv.TS
+			if dc.auth.Verify(resp.Value) && max.Less(resp.Value.TS) {
+				max = resp.Value.TS
 			}
-			return true
-		})
+		}
 		if complete {
 			return max, nil
 		}
@@ -139,29 +156,33 @@ func (dc *DisseminationClient) maxVerifiedTimestamp() (Timestamp, error) {
 // Read returns the highest-timestamped verified value found in a quorum.
 // With IS ≥ b+1 every read quorum shares a correct server with the last
 // write quorum, so the newest authentic value is always present.
-func (dc *DisseminationClient) Read() (TaggedValue, error) {
+func (dc *DisseminationClient) Read(ctx context.Context) (TaggedValue, error) {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
 	for attempt := 0; attempt < dc.MaxRetries; attempt++ {
 		q, err := dc.quorumOrForgive()
+		if err != nil {
+			return TaggedValue{}, fmt.Errorf("sim: dissemination read: %w", err)
+		}
+		replies, err := dc.c.probeQuorum(ctx, q, Request{Op: OpRead, ReaderID: dc.id})
 		if err != nil {
 			return TaggedValue{}, fmt.Errorf("sim: dissemination read: %w", err)
 		}
 		var best TaggedValue
 		found := false
 		complete := true
-		q.Range(func(i int) bool {
-			tv, alive := dc.c.readFrom(i, dc.id)
-			if !alive {
-				dc.suspected.Add(i)
+		for id, resp := range replies {
+			if !resp.OK {
+				dc.suspected.Add(id)
 				complete = false
-				return false
+				continue
 			}
-			if dc.auth.Verify(tv) {
-				if !found || best.TS.Less(tv.TS) {
-					best, found = tv, true
+			if dc.auth.Verify(resp.Value) {
+				if !found || best.TS.Less(resp.Value.TS) {
+					best, found = resp.Value, true
 				}
 			}
-			return true
-		})
+		}
 		if !complete {
 			continue
 		}

@@ -20,7 +20,7 @@ func newDisseminationCluster(t *testing.T, b int, seed int64) (*Cluster, int) {
 	if got := sys.MinIntersection(); got < b+1 {
 		t.Fatalf("dissemination threshold IS = %d < b+1", got)
 	}
-	c, err := NewCluster(sys, 0, seed)
+	c, err := NewCluster(sys, 0, WithSeed(seed))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,10 +56,10 @@ func TestDisseminationRoundTrip(t *testing.T) {
 	r := c.NewDisseminationClient(2, auth)
 	for i := 0; i < 5; i++ {
 		want := fmt.Sprintf("signed-%d", i)
-		if err := w.Write(want); err != nil {
+		if err := w.Write(ctx, want); err != nil {
 			t.Fatal(err)
 		}
-		got, err := r.Read()
+		got, err := r.Read(ctx)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -80,10 +80,10 @@ func TestDisseminationMasksFabricationWithSmallIntersection(t *testing.T) {
 	}
 	auth := NewAuthenticator()
 	w := c.NewDisseminationClient(1, auth)
-	if err := w.Write("authentic"); err != nil {
+	if err := w.Write(ctx, "authentic"); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.NewDisseminationClient(2, auth).Read()
+	got, err := c.NewDisseminationClient(2, auth).Read(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,16 +100,16 @@ func TestDisseminationDefeatsStaleReplay(t *testing.T) {
 	c, _ := newDisseminationCluster(t, b, 85)
 	auth := NewAuthenticator()
 	w := c.NewDisseminationClient(1, auth)
-	if err := w.Write("old"); err != nil {
+	if err := w.Write(ctx, "old"); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.InjectFault(ByzantineStale, 0, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Write("new"); err != nil {
+	if err := w.Write(ctx, "new"); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.NewDisseminationClient(2, auth).Read()
+	got, err := c.NewDisseminationClient(2, auth).Read(ctx)
 	if err != nil || got.Value != "new" {
 		t.Fatalf("read %q (%v), want new", got.Value, err)
 	}
@@ -130,7 +130,7 @@ func TestMaskingProtocolNeedsBiggerIntersections(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c2, err := NewCluster(sys, 0, 89) // cluster b=0 so construction passes
+	c2, err := NewCluster(sys, 0, WithSeed(89)) // cluster b=0 so construction passes
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,17 +141,17 @@ func TestMaskingProtocolNeedsBiggerIntersections(t *testing.T) {
 	// would demand. Verify the count directly.
 	auth := NewAuthenticator()
 	w := c2.NewDisseminationClient(1, auth)
-	if err := w.Write("v1"); err != nil {
+	if err := w.Write(ctx, "v1"); err != nil {
 		t.Fatal(err)
 	}
 	if err := c2.InjectFault(ByzantineStale, 0, 1, 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Write("v2"); err != nil {
+	if err := w.Write(ctx, "v2"); err != nil {
 		t.Fatal(err)
 	}
 	// Dissemination read still succeeds...
-	got, err := c2.NewDisseminationClient(2, auth).Read()
+	got, err := c2.NewDisseminationClient(2, auth).Read(ctx)
 	if err != nil || got.Value != "v2" {
 		t.Fatalf("dissemination read %q (%v), want v2", got.Value, err)
 	}

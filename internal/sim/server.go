@@ -9,6 +9,14 @@
 // servers) and several Byzantine behaviors (fabrication, stale replay,
 // equivocation), so tests can demonstrate both the protocol's guarantees
 // at ≤ b faults and its collapse past the 2b+1 bound.
+//
+// The access layer is a concurrent engine: clients take a context.Context,
+// fan probes out to quorum members in parallel goroutines through a
+// pluggable Transport (the built-in one models message loss and
+// per-server latency), and any number of clients may run concurrently —
+// each owns its rng and suspicion state, and per-server access counters
+// feed Cluster.LoadProfile, the live-traffic counterpart of the paper's
+// load measure (Definition 3.8).
 package sim
 
 import (

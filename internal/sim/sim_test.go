@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -10,6 +11,9 @@ import (
 	"bqs/internal/systems"
 )
 
+// ctx is the no-deadline context the non-cancellation tests share.
+var ctx = context.Background()
+
 // newThresholdCluster builds a cluster over Threshold(n=4b+1, ℓ=3b+1).
 func newThresholdCluster(t *testing.T, b int, seed int64) *Cluster {
 	t.Helper()
@@ -17,7 +21,7 @@ func newThresholdCluster(t *testing.T, b int, seed int64) *Cluster {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := NewCluster(sys, b, seed)
+	c, err := NewCluster(sys, b, WithSeed(seed))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,13 +30,13 @@ func newThresholdCluster(t *testing.T, b int, seed int64) *Cluster {
 
 func TestClusterValidation(t *testing.T) {
 	sys, _ := systems.NewMaskingThreshold(9, 2)
-	if _, err := NewCluster(sys, -1, 1); err == nil {
+	if _, err := NewCluster(sys, -1); err == nil {
 		t.Error("negative b should fail")
 	}
-	if _, err := NewCluster(sys, 3, 1); err == nil {
+	if _, err := NewCluster(sys, 3); err == nil {
 		t.Error("b beyond the system's masking bound should fail")
 	}
-	c, err := NewCluster(sys, 2, 1)
+	c, err := NewCluster(sys, 2)
 	if err != nil || c.N() != 9 || c.B() != 2 {
 		t.Fatalf("cluster = %+v, err %v", c, err)
 	}
@@ -45,10 +49,10 @@ func TestWriteReadRoundTripNoFaults(t *testing.T) {
 	c := newThresholdCluster(t, 2, 7)
 	w := c.NewClient(1)
 	r := c.NewClient(2)
-	if err := w.Write("hello"); err != nil {
+	if err := w.Write(ctx, "hello"); err != nil {
 		t.Fatal(err)
 	}
-	got, err := r.Read()
+	got, err := r.Read(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,10 +60,10 @@ func TestWriteReadRoundTripNoFaults(t *testing.T) {
 		t.Fatalf("read %q, want hello", got.Value)
 	}
 	// Overwrite and read again.
-	if err := w.Write("world"); err != nil {
+	if err := w.Write(ctx, "world"); err != nil {
 		t.Fatal(err)
 	}
-	got, err = r.Read()
+	got, err = r.Read(ctx)
 	if err != nil || got.Value != "world" {
 		t.Fatalf("read %q (%v), want world", got.Value, err)
 	}
@@ -82,10 +86,10 @@ func TestSurvivesCrashesUpToResilience(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := c.NewClient(1)
-	if err := w.Write("alive"); err != nil {
+	if err := w.Write(ctx, "alive"); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.NewClient(2).Read()
+	got, err := c.NewClient(2).Read(ctx)
 	if err != nil || got.Value != "alive" {
 		t.Fatalf("read %q (%v), want alive", got.Value, err)
 	}
@@ -103,7 +107,7 @@ func TestFailsPastResilience(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := c.NewClient(1)
-	err := w.Write("doomed")
+	err := w.Write(ctx, "doomed")
 	if err == nil {
 		t.Fatal("write should fail past resilience")
 	}
@@ -119,11 +123,11 @@ func TestMasksByzantineFabrication(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := c.NewClient(1)
-	if err := w.Write("truth"); err != nil {
+	if err := w.Write(ctx, "truth"); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 20; i++ {
-		got, err := c.NewClient(100 + i).Read()
+		got, err := c.NewClient(100 + i).Read(ctx)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -137,17 +141,17 @@ func TestMasksStaleReplay(t *testing.T) {
 	b := 2
 	c := newThresholdCluster(t, b, 19)
 	w := c.NewClient(1)
-	if err := w.Write("v1"); err != nil {
+	if err := w.Write(ctx, "v1"); err != nil {
 		t.Fatal(err)
 	}
 	// Servers 0,1 now replay v1 forever.
 	if err := c.InjectFault(ByzantineStale, 0, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Write("v2"); err != nil {
+	if err := w.Write(ctx, "v2"); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.NewClient(2).Read()
+	got, err := c.NewClient(2).Read(ctx)
 	if err != nil || got.Value != "v2" {
 		t.Fatalf("read %q (%v), want v2", got.Value, err)
 	}
@@ -160,11 +164,11 @@ func TestMasksEquivocation(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := c.NewClient(1)
-	if err := w.Write("stable"); err != nil {
+	if err := w.Write(ctx, "stable"); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
-		got, err := c.NewClient(50 + i).Read()
+		got, err := c.NewClient(50 + i).Read(ctx)
 		if err != nil || got.Value != "stable" {
 			t.Fatalf("read %q (%v), want stable", got.Value, err)
 		}
@@ -180,7 +184,7 @@ func TestHybridFaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := NewCluster(sys, 3, 29)
+	c, err := NewCluster(sys, 3, WithSeed(29))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,10 +195,10 @@ func TestHybridFaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := c.NewClient(1)
-	if err := w.Write("hybrid"); err != nil {
+	if err := w.Write(ctx, "hybrid"); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.NewClient(2).Read()
+	got, err := c.NewClient(2).Read(ctx)
 	if err != nil || got.Value != "hybrid" {
 		t.Fatalf("read %q (%v), want hybrid", got.Value, err)
 	}
@@ -207,13 +211,13 @@ func TestViolationPast2bPlus1(t *testing.T) {
 	b := 2
 	c := newThresholdCluster(t, b, 31)
 	w := c.NewClient(1)
-	if err := w.Write("truth"); err != nil {
+	if err := w.Write(ctx, "truth"); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.InjectFault(ByzantineFabricate, 0, 1, 2, 3, 4); err != nil { // 2b+1 = 5
 		t.Fatal(err)
 	}
-	got, err := c.NewClient(2).Read()
+	got, err := c.NewClient(2).Read(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,14 +231,14 @@ func TestMultipleWritersLastWins(t *testing.T) {
 	w1 := c.NewClient(1)
 	w2 := c.NewClient(2)
 	for i := 0; i < 5; i++ {
-		if err := w1.Write(fmt.Sprintf("w1-%d", i)); err != nil {
+		if err := w1.Write(ctx, fmt.Sprintf("w1-%d", i)); err != nil {
 			t.Fatal(err)
 		}
-		if err := w2.Write(fmt.Sprintf("w2-%d", i)); err != nil {
+		if err := w2.Write(ctx, fmt.Sprintf("w2-%d", i)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	got, err := c.NewClient(3).Read()
+	got, err := c.NewClient(3).Read(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +255,7 @@ func TestRegisterOverMGrid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := NewCluster(sys, 3, 41)
+	c, err := NewCluster(sys, 3, WithSeed(41))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,10 +264,10 @@ func TestRegisterOverMGrid(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := c.NewClient(1)
-	if err := w.Write("grid-value"); err != nil {
+	if err := w.Write(ctx, "grid-value"); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.NewClient(2).Read()
+	got, err := c.NewClient(2).Read(ctx)
 	if err != nil || got.Value != "grid-value" {
 		t.Fatalf("read %q (%v), want grid-value", got.Value, err)
 	}
@@ -274,7 +278,7 @@ func TestRegisterOverMPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := NewCluster(sys, 4, 43)
+	c, err := NewCluster(sys, 4, WithSeed(43))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,10 +289,10 @@ func TestRegisterOverMPath(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := c.NewClient(1)
-	if err := w.Write("path-value"); err != nil {
+	if err := w.Write(ctx, "path-value"); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.NewClient(2).Read()
+	got, err := c.NewClient(2).Read(ctx)
 	if err != nil || got.Value != "path-value" {
 		t.Fatalf("read %q (%v), want path-value", got.Value, err)
 	}
@@ -305,7 +309,7 @@ func TestRandomizedSafetyWithinB(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		c, err := NewCluster(sys, b, rng.Int63())
+		c, err := NewCluster(sys, b, WithSeed(rng.Int63()))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -327,10 +331,10 @@ func TestRandomizedSafetyWithinB(t *testing.T) {
 		}
 		w := c.NewClient(1)
 		want := fmt.Sprintf("payload-%d", trial)
-		if err := w.Write(want); err != nil {
+		if err := w.Write(ctx, want); err != nil {
 			t.Fatalf("trial %d: write: %v", trial, err)
 		}
-		got, err := c.NewClient(2).Read()
+		got, err := c.NewClient(2).Read(ctx)
 		if err != nil {
 			t.Fatalf("trial %d: read: %v", trial, err)
 		}
@@ -370,10 +374,10 @@ func TestLossyNetworkStillSafe(t *testing.T) {
 	r.MaxRetries = 64
 	for i := 0; i < 10; i++ {
 		want := fmt.Sprintf("lossy-%d", i)
-		if err := w.Write(want); err != nil {
+		if err := w.Write(ctx, want); err != nil {
 			t.Fatalf("write %d: %v", i, err)
 		}
-		got, err := r.Read()
+		got, err := r.Read(ctx)
 		if err != nil {
 			t.Fatalf("read %d: %v", i, err)
 		}
@@ -389,7 +393,7 @@ func TestFullyLossyNetworkFails(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := c.NewClient(1)
-	if err := w.Write("void"); err == nil {
+	if err := w.Write(ctx, "void"); err == nil {
 		t.Fatal("write should fail on a dead network")
 	}
 }

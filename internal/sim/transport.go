@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Op identifies a protocol message. The [MR98a] register protocol needs
+// exactly three: collect timestamps (the first phase of a write), read the
+// register, and store a tagged value.
+type Op int
+
+// Protocol operations.
+const (
+	// OpReadTimestamps asks a server for its current tagged value so the
+	// writer can pick a timestamp greater than any it sees.
+	OpReadTimestamps Op = iota + 1
+	// OpRead asks a server for its current tagged value on behalf of a
+	// reader.
+	OpRead
+	// OpWrite asks a server to store Request.Value.
+	OpWrite
+)
+
+// String names the operation for logs and errors.
+func (o Op) String() string {
+	switch o {
+	case OpReadTimestamps:
+		return "read-timestamps"
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Request is a protocol message addressed to one server.
+type Request struct {
+	Op       Op
+	ReaderID int         // client id, for OpReadTimestamps and OpRead
+	Value    TaggedValue // payload, for OpWrite
+}
+
+// Response is a server's answer. OK = false means the server was
+// unresponsive (crashed, or its reply was lost in transit); clients treat
+// that exactly like a crash and re-select quorums around it. Value carries
+// the answer to OpRead and OpReadTimestamps.
+type Response struct {
+	OK    bool
+	Value TaggedValue
+}
+
+// Transport delivers protocol messages to servers. Implementations must be
+// safe for concurrent use by many client goroutines and must honor ctx:
+// once the context is done, Invoke returns promptly with ctx.Err().
+//
+// A non-nil error aborts the client operation outright (cancellation,
+// deadline, or a transport-level failure); server unresponsiveness is NOT
+// an error — report it with Response{OK: false} so clients can suspect the
+// server and retry with a different quorum.
+type Transport interface {
+	Invoke(ctx context.Context, server int, req Request) (Response, error)
+}
+
+// memTransport is the built-in Transport: direct in-memory delivery to the
+// cluster's servers, with optional message loss (dropRate) and a fixed
+// per-server round-trip latency drawn at construction time.
+type memTransport struct {
+	servers []*Server
+	latency []time.Duration // per-server round-trip delay; nil when zero
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	dropRate float64
+}
+
+// newMemTransport builds the in-memory transport. When base or jitter is
+// positive, each server's round-trip latency is drawn once, uniformly from
+// [base, base+jitter], modelling a heterogeneous fleet.
+func newMemTransport(servers []*Server, seed int64, dropRate float64, base, jitter time.Duration) *memTransport {
+	t := &memTransport{
+		servers:  servers,
+		rng:      rand.New(rand.NewSource(seed)),
+		dropRate: dropRate,
+	}
+	if base > 0 || jitter > 0 {
+		t.latency = make([]time.Duration, len(servers))
+		for i := range t.latency {
+			d := base
+			if jitter > 0 {
+				d += time.Duration(t.rng.Int63n(int64(jitter) + 1))
+			}
+			t.latency[i] = d
+		}
+	}
+	return t
+}
+
+// NewInMemoryTransport returns the transport NewCluster installs by
+// default, minus loss and latency: lossless, instantaneous delivery to the
+// given servers. It is exported so WithTransport factories can wrap the
+// stock behavior with middleware (tracing, fault proxies, counters).
+func NewInMemoryTransport(servers []*Server, seed int64) Transport {
+	return newMemTransport(servers, seed, 0, 0, 0)
+}
+
+func (t *memTransport) setDropRate(p float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.dropRate = p
+}
+
+// dropped rolls the message-loss dice.
+func (t *memTransport) dropped() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropRate > 0 && t.rng.Float64() < t.dropRate
+}
+
+// Invoke delivers req to the given server, sleeping out the server's
+// modelled latency (interruptible by ctx) and losing the reply with the
+// configured drop probability.
+func (t *memTransport) Invoke(ctx context.Context, server int, req Request) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
+	if server < 0 || server >= len(t.servers) {
+		return Response{}, fmt.Errorf("sim: transport: server %d out of range [0,%d)", server, len(t.servers))
+	}
+	if t.latency != nil && t.latency[server] > 0 {
+		timer := time.NewTimer(t.latency[server])
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return Response{}, ctx.Err()
+		case <-timer.C:
+		}
+	}
+	if t.dropped() {
+		return Response{OK: false}, nil
+	}
+	s := t.servers[server]
+	switch req.Op {
+	case OpRead, OpReadTimestamps:
+		tv, ok := s.HandleRead(req.ReaderID)
+		return Response{OK: ok, Value: tv}, nil
+	case OpWrite:
+		return Response{OK: s.HandleWrite(req.Value)}, nil
+	default:
+		return Response{}, fmt.Errorf("sim: transport: unknown %v", req.Op)
+	}
+}
