@@ -13,6 +13,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"net"
 	"sync/atomic"
 	"testing"
 
@@ -502,6 +503,83 @@ func BenchmarkClusterThroughput(b *testing.B) {
 			b.ReportMetric(cluster.PeakLoad(), "peak_load")
 		})
 	}
+}
+
+// BenchmarkWireThroughput compares the in-memory transport against the
+// TCP wire transport on loopback, with the identical Threshold(21,5)
+// cluster and write+read workload: the gap is the cost of real sockets
+// (syscalls, framing, scheduling), the floor a deployed cluster pays
+// before any actual network latency. Run with:
+//
+//	go test -bench BenchmarkWireThroughput -cpu 1,4,8
+func BenchmarkWireThroughput(b *testing.B) {
+	const bound = 5
+	newSys := func(b *testing.B) bqs.System {
+		b.Helper()
+		sys, err := bqs.NewMaskingThreshold(21, bound)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sys
+	}
+	ctx := context.Background()
+	workload := func(b *testing.B, cluster *bqs.Cluster) {
+		b.Helper()
+		var ids atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			cl := cluster.NewClient(int(ids.Add(1)))
+			for pb.Next() {
+				if err := cl.Write(ctx, "bench"); err != nil {
+					b.Error(err)
+					return
+				}
+				if _, err := cl.Read(ctx); err != nil && !errors.Is(err, bqs.ErrNoCandidate) {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.ReportMetric(cluster.PeakLoad(), "peak_load")
+	}
+
+	b.Run("InMemory", func(b *testing.B) {
+		cluster, err := bqs.NewCluster(newSys(b), bound, bqs.WithSeed(30))
+		if err != nil {
+			b.Fatal(err)
+		}
+		workload(b, cluster)
+	})
+
+	b.Run("TCPLoopback", func(b *testing.B) {
+		sys := newSys(b)
+		replicas := make(map[int]*bqs.Server, sys.UniverseSize())
+		routes := make(map[int]string, sys.UniverseSize())
+		for i := 0; i < sys.UniverseSize(); i++ {
+			replicas[i] = bqs.NewServer(i)
+		}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := bqs.NewWireServer(replicas)
+		go srv.Serve(lis)
+		defer srv.Close()
+		for i := range replicas {
+			routes[i] = lis.Addr().String()
+		}
+		tr, err := bqs.DialWire(routes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer tr.Close()
+		cluster, err := bqs.NewCluster(sys, bound, bqs.WithSeed(31),
+			bqs.WithTransport(func([]*bqs.Server) bqs.Transport { return tr }))
+		if err != nil {
+			b.Fatal(err)
+		}
+		workload(b, cluster)
+	})
 }
 
 // --- Extensions beyond the paper's minimum ----------------------------------

@@ -11,6 +11,7 @@ import (
 	"bqs/internal/projective"
 	"bqs/internal/sim"
 	"bqs/internal/systems"
+	"bqs/internal/wire"
 )
 
 // Core model types, re-exported from the internal implementation.
@@ -84,6 +85,16 @@ type (
 	Response = sim.Response
 	// Op identifies a protocol message type.
 	Op = sim.Op
+
+	// WireServer is a TCP daemon hosting a shard of sim servers; see
+	// NewWireServer.
+	WireServer = wire.Server
+	// WireClient is a Transport that carries probes over TCP with
+	// connection pooling, request pipelining and automatic reconnect; see
+	// DialWire.
+	WireClient = wire.Client
+	// WireDialOption configures DialWire.
+	WireDialOption = wire.DialOption
 )
 
 // Sentinel errors.
@@ -96,6 +107,9 @@ var (
 	// ErrRetriesExhausted reports that live quorums kept containing
 	// unresponsive servers beyond the client's retry budget.
 	ErrRetriesExhausted = sim.ErrRetriesExhausted
+	// ErrWireServerClosed is returned by WireServer.Serve after Shutdown
+	// or Close.
+	ErrWireServerClosed = wire.ErrServerClosed
 )
 
 // Server fault modes for Cluster.InjectFault.
@@ -310,6 +324,54 @@ func WithDeterministic() ClusterOption { return sim.WithDeterministic() }
 func NewInMemoryTransport(servers []*Server, seed int64) Transport {
 	return sim.NewInMemoryTransport(servers, seed)
 }
+
+// NewServer returns a correct replica with an empty register, for hosting
+// in a WireServer (the Cluster constructor builds its own servers; this
+// is for standalone daemons).
+func NewServer(id int) *Server { return sim.NewServer(id) }
+
+// NewWireServer returns a TCP daemon hosting the given replicas, keyed by
+// global server index. Start it with ListenAndServe or Serve; stop it
+// with Shutdown (graceful) or Close.
+func NewWireServer(replicas map[int]*Server) *WireServer { return wire.NewServer(replicas) }
+
+// DialWire returns a Transport that routes each probe over TCP to the
+// address hosting that server (global index → "host:port"). Connections
+// are pooled per address, pipelined (many concurrent operations share one
+// socket, matched by request ID), and re-established automatically; an
+// unreachable server answers Response{OK: false}, the same suspicion
+// signal a crash produces, so quorum re-selection works unchanged. Plug
+// it into a cluster with
+//
+//	tr, err := bqs.DialWire(routes)
+//	cluster, err := bqs.NewCluster(sys, b,
+//	    bqs.WithTransport(func([]*bqs.Server) bqs.Transport { return tr }))
+func DialWire(routes map[int]string, opts ...WireDialOption) (*WireClient, error) {
+	return wire.Dial(routes, opts...)
+}
+
+// WithWirePoolSize sets how many TCP connections DialWire keeps per
+// address (default 1; pipelining usually makes one enough).
+func WithWirePoolSize(n int) WireDialOption { return wire.WithPoolSize(n) }
+
+// WithWireDialTimeout bounds each connection attempt (default 2s).
+func WithWireDialTimeout(d time.Duration) WireDialOption { return wire.WithDialTimeout(d) }
+
+// WithWireRedialBackoff sets how long an address stays marked down after
+// a failed connection attempt (default 100ms).
+func WithWireRedialBackoff(d time.Duration) WireDialOption { return wire.WithRedialBackoff(d) }
+
+// ParseRoutes parses "0-8=hostA:7000,9-24=hostB:7000" into the route
+// table DialWire consumes.
+func ParseRoutes(spec string) (map[int]string, error) { return wire.ParseRoutes(spec) }
+
+// ParseIDRange parses "0-24" (or "7") into the inclusive list of global
+// server indices it names.
+func ParseIDRange(spec string) ([]int, error) { return wire.ParseIDRange(spec) }
+
+// CheckRouteCoverage verifies the route table addresses every server of
+// an n-element universe.
+func CheckRouteCoverage(routes map[int]string, n int) error { return wire.CheckCoverage(routes, n) }
 
 // FabricatedValue is the marker value Byzantine fabricators return in the
 // simulation; reads must never surface it while faults stay within b.

@@ -1,0 +1,93 @@
+// bqs-client drives the [MR98a] mixed read/write workload against a
+// networked cluster of bqs-server shards, over the TCP wire protocol with
+// pipelined, auto-reconnecting connections. It is the remote counterpart
+// of cmd/bqs-sim's in-memory harness — the workload and report come from
+// internal/harness, shared between the two, so their numbers are directly
+// comparable: ops/sec plus the measured busiest-server access frequency
+// next to the paper's L(Q) lower bounds (Theorem 4.1 / Corollary 4.2).
+//
+// Usage (the 16-server M-Grid(4,1) split across three shards):
+//
+//	bqs-server -listen :7000 -servers 0-5 &
+//	bqs-server -listen :7001 -servers 6-10 &
+//	bqs-server -listen :7002 -servers 11-15 -byzantine 12 &
+//	bqs-client -system mgrid -b 1 \
+//	    -routes 0-5=localhost:7000,6-10=localhost:7001,11-15=localhost:7002 \
+//	    -clients 8 -duration 5s
+//
+// The route table must cover every server of the chosen system's
+// universe; run bqs-client with a -system/-b pair first to learn the
+// universe size it prints.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bqs"
+	"bqs/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bqs-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	system := flag.String("system", "mgrid", "quorum system: threshold|grid|mgrid|rt|boostfpp|mpath")
+	b := flag.Int("b", 1, "masking bound b")
+	routes := flag.String("routes", "", "route table, e.g. 0-8=host:7000,9-24=host:7001 (required)")
+	clients := flag.Int("clients", 8, "concurrent clients")
+	ops := flag.Int("ops", 100, "operations per client (ignored when -duration is set)")
+	duration := flag.Duration("duration", 0, "time-bounded run: clients issue ops until this elapses")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-operation deadline (0 = none)")
+	poolSize := flag.Int("pool", 1, "TCP connections per server address")
+	seed := flag.Int64("seed", 1, "random seed for quorum selection")
+	flag.Parse()
+
+	sys, err := harness.BuildSystem(*system, *b)
+	if err != nil {
+		return err
+	}
+	n := sys.UniverseSize()
+	fmt.Printf("system: %s (n=%d, b=%d)\n", sys.Name(), n, *b)
+	if *routes == "" {
+		return fmt.Errorf("-routes is required; the universe needs addresses for servers 0-%d", n-1)
+	}
+	table, err := bqs.ParseRoutes(*routes)
+	if err != nil {
+		return err
+	}
+	if err := bqs.CheckRouteCoverage(table, n); err != nil {
+		return err
+	}
+	tr, err := bqs.DialWire(table, bqs.WithWirePoolSize(*poolSize))
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	cluster, err := bqs.NewCluster(sys, *b, bqs.WithSeed(*seed),
+		bqs.WithTransport(func([]*bqs.Server) bqs.Transport { return tr }))
+	if err != nil {
+		return err
+	}
+
+	shards := make(map[string]bool)
+	for _, addr := range table {
+		shards[addr] = true
+	}
+	w := harness.Workload{Clients: *clients, Ops: *ops, Duration: *duration, Timeout: *timeout}
+	fmt.Printf("workload: %s against %d shards\n", w.Describe(), len(shards))
+
+	counters := harness.Run(cluster, w)
+	harness.Report(cluster, sys, *b, counters)
+
+	if counters.Violations > 0 {
+		return fmt.Errorf("%d reads surfaced fabricated values — more than b Byzantine servers in the deployment, or a protocol bug", counters.Violations)
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+// bqs-server hosts a shard of the quorum universe over TCP: one
+// sim.Server replica per global index in -servers, reachable through the
+// wire protocol. Start one daemon per shard and point bqs-client's
+// -routes at them; together they form a distributed deployment of the
+// [MR98a] replicated shared variable, whose measured load the paper's
+// Theorem 4.1 bounds.
+//
+// Usage:
+//
+//	bqs-server -listen :7000 -servers 0-24
+//	bqs-server -listen :7001 -servers 25-49 -byzantine 30,41 -crashed 27
+//
+// Fault injection is server-side, as in a real deployment: -byzantine
+// and -crashed take comma-separated global indices (which must fall
+// inside this daemon's shard) and set those replicas' behaviors before
+// serving. SIGINT/SIGTERM trigger a graceful shutdown.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"bqs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bqs-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	listen := flag.String("listen", ":7000", "TCP listen address")
+	servers := flag.String("servers", "0-24", "inclusive global server index range this daemon hosts, e.g. 0-24")
+	byzantine := flag.String("byzantine", "", "comma-separated global indices to make Byzantine (fabricating)")
+	crashed := flag.String("crashed", "", "comma-separated global indices to crash")
+	grace := flag.Duration("grace", 5*time.Second, "graceful shutdown budget on SIGINT/SIGTERM")
+	flag.Parse()
+
+	ids, err := bqs.ParseIDRange(*servers)
+	if err != nil {
+		return err
+	}
+	replicas := make(map[int]*bqs.Server, len(ids))
+	for _, id := range ids {
+		replicas[id] = bqs.NewServer(id)
+	}
+	if err := inject(replicas, *byzantine, bqs.ByzantineFabricate); err != nil {
+		return err
+	}
+	if err := inject(replicas, *crashed, bqs.Crashed); err != nil {
+		return err
+	}
+
+	srv := bqs.NewWireServer(replicas)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*listen) }()
+	fmt.Printf("bqs-server: hosting servers %s on %s (byzantine=[%s] crashed=[%s])\n",
+		*servers, *listen, *byzantine, *crashed)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err // listener died before any signal
+	case s := <-sig:
+		fmt.Printf("bqs-server: %v — draining (budget %v)\n", s, *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		fmt.Println("bqs-server: bye")
+		return nil
+	}
+}
+
+// inject applies behavior to the named replicas, rejecting indices this
+// shard does not host.
+func inject(replicas map[int]*bqs.Server, spec string, behavior bqs.Behavior) error {
+	if spec == "" {
+		return nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		ids, err := bqs.ParseIDRange(strings.TrimSpace(field))
+		if err != nil {
+			return err
+		}
+		for _, id := range ids {
+			rep, ok := replicas[id]
+			if !ok {
+				return fmt.Errorf("server %d is not in this shard", id)
+			}
+			rep.SetBehavior(behavior)
+		}
+	}
+	return nil
+}

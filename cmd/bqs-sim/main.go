@@ -9,23 +9,22 @@
 //
 //	bqs-sim [-system threshold|grid|mgrid|rt|boostfpp|mpath] [-b 3]
 //	        [-byzantine 3] [-crashed 2] [-clients 8] [-ops 100]
-//	        [-drop 0] [-latency 0] [-jitter 0] [-timeout 0]
+//	        [-duration 0] [-drop 0] [-latency 0] [-jitter 0] [-timeout 0]
 //	        [-deterministic] [-seed 1]
+//
+// With -duration the run is time-bounded instead of op-bounded. The
+// workload and report come from internal/harness, shared with
+// cmd/bqs-client, so in-memory and TCP clusters are measured comparably.
 package main
 
 import (
-	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
-	"strings"
-	"sync"
-	"sync/atomic"
-	"time"
 
 	"bqs"
+	"bqs/internal/harness"
 )
 
 func main() {
@@ -42,6 +41,7 @@ func run() error {
 	crashed := flag.Int("crashed", 0, "number of crashed servers to inject")
 	clients := flag.Int("clients", 8, "concurrent clients")
 	ops := flag.Int("ops", 100, "operations per client (mixed ~50/50 writes and reads)")
+	duration := flag.Duration("duration", 0, "time-bounded run: clients issue ops until this elapses (overrides -ops)")
 	drop := flag.Float64("drop", 0, "per-message response-loss probability")
 	latency := flag.Duration("latency", 0, "base per-server round-trip latency")
 	jitter := flag.Duration("jitter", 0, "per-server latency jitter (uniform on [0,jitter])")
@@ -50,12 +50,12 @@ func run() error {
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
-	sys, err := buildSystem(*system, *b)
+	sys, err := harness.BuildSystem(*system, *b)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("system: %s (n=%d, b=%d, f=%d)\n",
-		sys.Name(), sys.UniverseSize(), *b, resilienceOf(sys))
+		sys.Name(), sys.UniverseSize(), *b, bqs.Resilience(sys))
 
 	opts := []bqs.ClusterOption{bqs.WithSeed(*seed), bqs.WithDropRate(*drop), bqs.WithLatency(*latency, *jitter)}
 	if *deterministic {
@@ -84,106 +84,25 @@ func run() error {
 		return err
 	}
 	fmt.Printf("faults: %d byzantine (fabricating), %d crashed\n", *byzantine, *crashed)
-	fmt.Printf("workload: %d clients × %d ops (drop=%.3f, latency=%v±%v)\n",
-		*clients, *ops, *drop, *latency, *jitter)
 
-	var (
-		wg                       sync.WaitGroup
-		reads, writes            atomic.Int64
-		violations, noCandidates atomic.Int64
-		failures                 atomic.Int64
-	)
-	start := time.Now()
-	for id := 0; id < *clients; id++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			cl := cluster.NewClient(id)
-			for op := 0; op < *ops; op++ {
-				opCtx, cancel := context.Background(), context.CancelFunc(func() {})
-				if *timeout > 0 {
-					opCtx, cancel = context.WithTimeout(context.Background(), *timeout)
-				}
-				if (id+op)%2 == 0 {
-					if err := cl.Write(opCtx, fmt.Sprintf("c%d-op%04d", id, op)); err != nil {
-						failures.Add(1)
-					} else {
-						writes.Add(1)
-					}
-					cancel()
-					continue
-				}
-				got, err := cl.Read(opCtx)
-				cancel()
-				switch {
-				case errors.Is(err, bqs.ErrNoCandidate):
-					noCandidates.Add(1)
-				case err != nil:
-					failures.Add(1)
-				case strings.HasPrefix(got.Value, bqs.FabricatedValue):
-					violations.Add(1)
-				default:
-					reads.Add(1)
-				}
-			}
-		}(id)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
+	w := harness.Workload{Clients: *clients, Ops: *ops, Duration: *duration, Timeout: *timeout}
+	fmt.Printf("workload: %s (drop=%.3f, latency=%v±%v)\n", w.Describe(), *drop, *latency, *jitter)
 
-	total := int64(*clients) * int64(*ops)
-	fmt.Printf("result: %d reads ok, %d writes ok, %d no-candidate, %d failed, %d VIOLATIONS\n",
-		reads.Load(), writes.Load(), noCandidates.Load(), failures.Load(), violations.Load())
-	fmt.Printf("throughput: %d ops in %v = %.0f ops/s\n",
-		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
-
-	peak := cluster.PeakLoad()
-	lower := bqs.LoadLowerBound(sys.UniverseSize(), *b, sys.MinQuorumSize())
-	global := bqs.GlobalLoadLowerBound(sys.UniverseSize(), *b)
-	fmt.Printf("measured load: busiest server at %.4f of quorum accesses\n", peak)
-	fmt.Printf("paper bounds:  L(Q) ≥ %.4f (Thm 4.1), ≥ %.4f (Cor 4.2)\n", lower, global)
+	counters := harness.Run(cluster, w)
+	peak, lower := harness.Report(cluster, sys, *b, counters)
 	if *byzantine <= *b && *crashed == 0 && *drop == 0 && peak < lower {
-		fmt.Println("  note: measurement below the lower bound — increase -ops for convergence")
+		knob := "-ops"
+		if *duration > 0 {
+			knob = "-duration"
+		}
+		fmt.Printf("  note: measurement below the lower bound — increase %s for convergence\n", knob)
 	}
 
-	if violations.Load() > 0 && *byzantine <= *b {
+	if counters.Violations > 0 && *byzantine <= *b {
 		return fmt.Errorf("safety violated within the masking bound — this is a bug")
 	}
-	if violations.Load() > 0 {
+	if counters.Violations > 0 {
 		fmt.Println("violations are expected: injected Byzantine faults exceed b")
 	}
 	return nil
-}
-
-// maskingSystem is what the simulator needs: selection + parameters.
-type maskingSystem interface {
-	bqs.System
-	bqs.Parameterized
-}
-
-func resilienceOf(s maskingSystem) int { return bqs.Resilience(s) }
-
-func buildSystem(kind string, b int) (maskingSystem, error) {
-	switch kind {
-	case "threshold":
-		return bqs.NewMaskingThreshold(4*b+1, b)
-	case "grid":
-		return bqs.NewGrid(3*b+1, b)
-	case "mgrid":
-		return bqs.NewMGrid(2*b+2, b)
-	case "rt":
-		// Depth chosen so RT(4,3) masks at least b: b = (2^h − 1)/2.
-		h := 1
-		for (1<<uint(h)-1)/2 < b {
-			h++
-		}
-		return bqs.NewRT(4, 3, h)
-	case "boostfpp":
-		return bqs.NewBoostFPP(3, b)
-	case "mpath":
-		d := 2 * (b + 2)
-		return bqs.NewMPath(d, b)
-	default:
-		return nil, fmt.Errorf("unknown system %q", kind)
-	}
 }

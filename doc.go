@@ -31,6 +31,13 @@
 //     quorum members in parallel, supports any number of concurrent
 //     clients, and measures empirical load from live traffic
 //     (Cluster.LoadProfile) for comparison against the Theorem 4.1 bounds.
+//   - A real network stack behind the same Transport seam: NewWireServer
+//     hosts shards of sim replicas over TCP with a length-prefixed binary
+//     protocol and graceful shutdown, and DialWire returns a pipelined,
+//     connection-pooled, auto-reconnecting client transport that maps
+//     unreachable servers to Response{OK: false}, so quorum re-selection
+//     masks network failures exactly like crashes. cmd/bqs-server and
+//     cmd/bqs-client run a deployment from the command line.
 //
 // # Quick start
 //

@@ -1,0 +1,169 @@
+// Package harness is the workload driver shared by cmd/bqs-sim (in-memory
+// clusters) and cmd/bqs-client (networked clusters over the wire
+// protocol). Both binaries advertise comparable measurements — same
+// read/write mix, same counters, same report — so the code that produces
+// them lives here once: a change to the workload shape or the load report
+// changes both harnesses together, and their numbers stay commensurable.
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bqs"
+)
+
+// System is what the harnesses need from a construction: quorum selection
+// plus the c(Q)/IS/MT parameters the load bounds are computed from.
+type System interface {
+	bqs.System
+	bqs.Parameterized
+}
+
+// BuildSystem maps the CLI -system/-b pair to a construction sized for
+// masking bound b, identically in both binaries.
+func BuildSystem(kind string, b int) (System, error) {
+	switch kind {
+	case "threshold":
+		return bqs.NewMaskingThreshold(4*b+1, b)
+	case "grid":
+		return bqs.NewGrid(3*b+1, b)
+	case "mgrid":
+		return bqs.NewMGrid(2*b+2, b)
+	case "rt":
+		// Depth chosen so RT(4,3) masks at least b: b = (2^h − 1)/2.
+		h := 1
+		for (1<<uint(h)-1)/2 < b {
+			h++
+		}
+		return bqs.NewRT(4, 3, h)
+	case "boostfpp":
+		return bqs.NewBoostFPP(3, b)
+	case "mpath":
+		d := 2 * (b + 2)
+		return bqs.NewMPath(d, b)
+	default:
+		return nil, fmt.Errorf("unknown system %q", kind)
+	}
+}
+
+// Workload shapes a mixed ~50/50 read/write run.
+type Workload struct {
+	Clients  int
+	Ops      int           // per client; ignored when Duration > 0
+	Duration time.Duration // > 0: time-bounded run instead of op-bounded
+	Timeout  time.Duration // per-operation deadline; 0 = none
+}
+
+// Describe returns the one-line workload summary both binaries print.
+func (w Workload) Describe() string {
+	if w.Duration > 0 {
+		return fmt.Sprintf("%d clients for %v", w.Clients, w.Duration)
+	}
+	return fmt.Sprintf("%d clients × %d ops", w.Clients, w.Ops)
+}
+
+// Counters tallies workload outcomes.
+type Counters struct {
+	Reads, Writes int64 // successful operations
+	NoCandidates  int64 // reads with no b+1-vouched value
+	Failures      int64 // errored operations (deadline, retries exhausted, …)
+	Violations    int64 // reads that surfaced a fabricated value
+	Elapsed       time.Duration
+}
+
+// Total is every operation issued.
+func (c Counters) Total() int64 {
+	return c.Reads + c.Writes + c.NoCandidates + c.Failures + c.Violations
+}
+
+// Run drives the workload against the cluster: w.Clients concurrent
+// clients alternating writes and reads (client id + op index parity, so
+// the fleet is always mixed), each operation under its own deadline.
+func Run(cluster *bqs.Cluster, w Workload) Counters {
+	var (
+		wg                       sync.WaitGroup
+		reads, writes            atomic.Int64
+		violations, noCandidates atomic.Int64
+		failures                 atomic.Int64
+	)
+	start := time.Now()
+	var stopAt time.Time
+	if w.Duration > 0 {
+		stopAt = start.Add(w.Duration)
+	}
+	for id := 0; id < w.Clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl := cluster.NewClient(id)
+			for op := 0; ; op++ {
+				if w.Duration > 0 {
+					if !time.Now().Before(stopAt) {
+						return
+					}
+				} else if op >= w.Ops {
+					return
+				}
+				opCtx, cancel := context.Background(), context.CancelFunc(func() {})
+				if w.Timeout > 0 {
+					opCtx, cancel = context.WithTimeout(context.Background(), w.Timeout)
+				}
+				if (id+op)%2 == 0 {
+					if err := cl.Write(opCtx, fmt.Sprintf("c%d-op%04d", id, op)); err != nil {
+						failures.Add(1)
+					} else {
+						writes.Add(1)
+					}
+					cancel()
+					continue
+				}
+				got, err := cl.Read(opCtx)
+				cancel()
+				switch {
+				case errors.Is(err, bqs.ErrNoCandidate):
+					noCandidates.Add(1)
+				case err != nil:
+					failures.Add(1)
+				case strings.HasPrefix(got.Value, bqs.FabricatedValue):
+					violations.Add(1)
+				default:
+					reads.Add(1)
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	return Counters{
+		Reads:        reads.Load(),
+		Writes:       writes.Load(),
+		NoCandidates: noCandidates.Load(),
+		Failures:     failures.Load(),
+		Violations:   violations.Load(),
+		Elapsed:      time.Since(start),
+	}
+}
+
+// Report prints the shared result block — outcome counts, throughput,
+// and the measured busiest-server frequency next to the paper's L(Q)
+// lower bounds — and returns the measured peak load together with the
+// printed Theorem 4.1 bound, so harness-specific checks compare against
+// exactly the number the user saw.
+func Report(cluster *bqs.Cluster, sys System, b int, c Counters) (peak, lower float64) {
+	fmt.Printf("result: %d reads ok, %d writes ok, %d no-candidate, %d failed, %d VIOLATIONS\n",
+		c.Reads, c.Writes, c.NoCandidates, c.Failures, c.Violations)
+	fmt.Printf("throughput: %d ops in %v = %.0f ops/s\n",
+		c.Total(), c.Elapsed.Round(time.Millisecond), float64(c.Total())/c.Elapsed.Seconds())
+	peak = cluster.PeakLoad()
+	n := sys.UniverseSize()
+	lower = bqs.LoadLowerBound(n, b, sys.MinQuorumSize())
+	fmt.Printf("measured load: busiest server at %.4f of quorum accesses\n", peak)
+	fmt.Printf("paper bounds:  L(Q) ≥ %.4f (Thm 4.1), ≥ %.4f (Cor 4.2)\n",
+		lower, bqs.GlobalLoadLowerBound(n, b))
+	return peak, lower
+}

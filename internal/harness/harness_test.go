@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bqs"
+)
+
+func TestBuildSystem(t *testing.T) {
+	cases := []struct {
+		kind string
+		b    int
+		n    int
+	}{
+		{"threshold", 3, 13},
+		{"grid", 3, 100},
+		{"mgrid", 3, 64},
+		{"boostfpp", 3, 169}, // FPP(3): 13 lines, each a Thresh over 4b+1 = 13 servers
+		{"mpath", 3, 100},
+	}
+	for _, tc := range cases {
+		sys, err := BuildSystem(tc.kind, tc.b)
+		if err != nil {
+			t.Errorf("BuildSystem(%q, %d): %v", tc.kind, tc.b, err)
+			continue
+		}
+		if sys.UniverseSize() != tc.n {
+			t.Errorf("BuildSystem(%q, %d): n=%d, want %d", tc.kind, tc.b, sys.UniverseSize(), tc.n)
+		}
+	}
+	if _, err := BuildSystem("bogus", 1); err == nil {
+		t.Error("BuildSystem accepted an unknown kind")
+	}
+}
+
+func TestRunOpBounded(t *testing.T) {
+	sys, err := BuildSystem("threshold", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := bqs.NewCluster(sys, 2, bqs.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Workload{Clients: 4, Ops: 10}
+	c := Run(cluster, w)
+	if got, want := c.Total(), int64(4*10); got != want {
+		t.Fatalf("Total = %d, want %d", got, want)
+	}
+	// Fault-free: every op succeeds, split exactly by the (id+op) parity.
+	if c.Failures != 0 || c.Violations != 0 || c.NoCandidates != 0 {
+		t.Fatalf("fault-free run reported failures: %+v", c)
+	}
+	if c.Reads+c.Writes != c.Total() || c.Writes != c.Reads {
+		t.Fatalf("mix skewed: %d reads, %d writes", c.Reads, c.Writes)
+	}
+	if c.Elapsed <= 0 {
+		t.Fatal("Elapsed not measured")
+	}
+	if !strings.Contains(w.Describe(), "4 clients × 10 ops") {
+		t.Fatalf("Describe() = %q", w.Describe())
+	}
+}
+
+func TestRunTimeBounded(t *testing.T) {
+	sys, err := BuildSystem("threshold", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := bqs.NewCluster(sys, 1, bqs.WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Workload{Clients: 2, Ops: 1, Duration: 50 * time.Millisecond}
+	c := Run(cluster, w)
+	if c.Total() <= 2 {
+		t.Fatalf("time-bounded run stopped after Ops (%d ops) — Duration must override -ops", c.Total())
+	}
+	if c.Elapsed < w.Duration {
+		t.Fatalf("run ended after %v, before the %v budget", c.Elapsed, w.Duration)
+	}
+	if !strings.Contains(w.Describe(), "2 clients for 50ms") {
+		t.Fatalf("Describe() = %q", w.Describe())
+	}
+}

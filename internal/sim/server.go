@@ -177,6 +177,24 @@ func (s *Server) HandleRead(readerID int) (TaggedValue, bool) {
 	}
 }
 
+// HandleRequest dispatches a protocol message to the server and returns
+// its answer. This is the hook a message layer needs to host a replica:
+// the in-memory transport calls it directly, and the wire package's TCP
+// listener calls it for each decoded frame. A server that is unresponsive
+// (crashed) answers Response{OK: false}; the error return is reserved for
+// malformed requests (an Op the protocol doesn't define).
+func (s *Server) HandleRequest(req Request) (Response, error) {
+	switch req.Op {
+	case OpRead, OpReadTimestamps:
+		tv, ok := s.HandleRead(req.ReaderID)
+		return Response{OK: ok, Value: tv}, nil
+	case OpWrite:
+		return Response{OK: s.HandleWrite(req.Value)}, nil
+	default:
+		return Response{}, fmt.Errorf("sim: server %d: unknown %v", s.id, req.Op)
+	}
+}
+
 // Snapshot returns the faithfully stored value (for test assertions, not
 // part of the protocol).
 func (s *Server) Snapshot() TaggedValue {

@@ -3,8 +3,10 @@ package sim
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -74,9 +76,15 @@ type memTransport struct {
 	servers []*Server
 	latency []time.Duration // per-server round-trip delay; nil when zero
 
-	mu       sync.Mutex
-	rng      *rand.Rand
-	dropRate float64
+	// dropRate holds math.Float64bits of the loss probability. The common
+	// case is a lossless network, and dropped() sits on every probe of
+	// every concurrent client, so the zero-rate path must not serialize on
+	// a mutex: it is a single atomic load. Only when the rate is positive
+	// is the rng (which is not concurrency-safe) taken under mu.
+	dropRate atomic.Uint64
+
+	mu  sync.Mutex // guards rng; taken only when dropRate > 0
+	rng *rand.Rand
 }
 
 // newMemTransport builds the in-memory transport. When base or jitter is
@@ -84,10 +92,10 @@ type memTransport struct {
 // [base, base+jitter], modelling a heterogeneous fleet.
 func newMemTransport(servers []*Server, seed int64, dropRate float64, base, jitter time.Duration) *memTransport {
 	t := &memTransport{
-		servers:  servers,
-		rng:      rand.New(rand.NewSource(seed)),
-		dropRate: dropRate,
+		servers: servers,
+		rng:     rand.New(rand.NewSource(seed)),
 	}
+	t.dropRate.Store(math.Float64bits(dropRate))
 	if base > 0 || jitter > 0 {
 		t.latency = make([]time.Duration, len(servers))
 		for i := range t.latency {
@@ -110,16 +118,19 @@ func NewInMemoryTransport(servers []*Server, seed int64) Transport {
 }
 
 func (t *memTransport) setDropRate(p float64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.dropRate = p
+	t.dropRate.Store(math.Float64bits(p))
 }
 
-// dropped rolls the message-loss dice.
+// dropped rolls the message-loss dice. Lock-free when the network is
+// lossless.
 func (t *memTransport) dropped() bool {
+	p := math.Float64frombits(t.dropRate.Load())
+	if p <= 0 {
+		return false
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.dropRate > 0 && t.rng.Float64() < t.dropRate
+	return t.rng.Float64() < p
 }
 
 // Invoke delivers req to the given server, sleeping out the server's
@@ -144,14 +155,5 @@ func (t *memTransport) Invoke(ctx context.Context, server int, req Request) (Res
 	if t.dropped() {
 		return Response{OK: false}, nil
 	}
-	s := t.servers[server]
-	switch req.Op {
-	case OpRead, OpReadTimestamps:
-		tv, ok := s.HandleRead(req.ReaderID)
-		return Response{OK: ok, Value: tv}, nil
-	case OpWrite:
-		return Response{OK: s.HandleWrite(req.Value)}, nil
-	default:
-		return Response{}, fmt.Errorf("sim: transport: unknown %v", req.Op)
-	}
+	return t.servers[server].HandleRequest(req)
 }

@@ -1,0 +1,417 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bqs/internal/sim"
+)
+
+// DialOption configures a Client.
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	poolSize      int
+	dialTimeout   time.Duration
+	redialBackoff time.Duration
+}
+
+// WithPoolSize sets how many TCP connections the client keeps per address
+// (default 1). Requests are pipelined, so one connection already carries
+// any number of concurrent operations; extra connections only help when a
+// single socket's throughput saturates.
+func WithPoolSize(n int) DialOption {
+	return func(c *dialConfig) {
+		if n > 0 {
+			c.poolSize = n
+		}
+	}
+}
+
+// WithDialTimeout bounds each connection attempt (default 2s).
+func WithDialTimeout(d time.Duration) DialOption {
+	return func(c *dialConfig) {
+		if d > 0 {
+			c.dialTimeout = d
+		}
+	}
+}
+
+// WithRedialBackoff sets how long an address stays marked down after a
+// failed connection attempt (default 100ms). While it is down, probes to
+// its servers answer Response{OK: false} immediately instead of paying
+// the dial timeout again, so quorum re-selection stays fast.
+func WithRedialBackoff(d time.Duration) DialOption {
+	return func(c *dialConfig) {
+		if d > 0 {
+			c.redialBackoff = d
+		}
+	}
+}
+
+// Client is a sim.Transport that carries probes over TCP. Each global
+// server index is routed to the address hosting it; per address the
+// client keeps a small pool of connections, multiplexing concurrent
+// requests over each by request ID. A server whose address cannot be
+// reached — connection refused, dial timeout, connection dropped
+// mid-flight — answers Response{OK: false}, the same suspicion signal the
+// in-memory transport uses for crashed servers, so clients re-select
+// quorums around network failures exactly as they do around crashes.
+// Connections re-establish automatically on the next probe after the
+// redial backoff, so a restarted server rejoins the fleet untouched.
+type Client struct {
+	routes map[int]string
+	cfg    dialConfig
+
+	mu     sync.Mutex
+	pools  map[string]*pool
+	closed bool
+}
+
+var _ sim.Transport = (*Client)(nil)
+
+// Dial validates the route table (global server index → "host:port") and
+// returns a Client. Connections are established lazily, on first use per
+// address, and re-established as needed; Dial itself does not touch the
+// network, so it succeeds even while servers are still starting.
+func Dial(routes map[int]string, opts ...DialOption) (*Client, error) {
+	if len(routes) == 0 {
+		return nil, fmt.Errorf("wire: empty route table")
+	}
+	m := make(map[int]string, len(routes))
+	for id, addr := range routes {
+		if id < 0 {
+			return nil, fmt.Errorf("wire: negative server index %d in route table", id)
+		}
+		if addr == "" {
+			return nil, fmt.Errorf("wire: empty address for server %d", id)
+		}
+		m[id] = addr
+	}
+	cfg := dialConfig{
+		poolSize:      1,
+		dialTimeout:   2 * time.Second,
+		redialBackoff: 100 * time.Millisecond,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return &Client{
+		routes: m,
+		cfg:    cfg,
+		pools:  make(map[string]*pool),
+	}, nil
+}
+
+// Routes returns a copy of the route table.
+func (c *Client) Routes() map[int]string {
+	out := make(map[int]string, len(c.routes))
+	for id, addr := range c.routes {
+		out[id] = addr
+	}
+	return out
+}
+
+// Invoke implements sim.Transport: it routes req to the address hosting
+// the given server and waits for the matching response. Unreachable or
+// dropped connections answer Response{OK: false}; the error return is
+// reserved for aborts (ctx done, closed client, unrouted server).
+func (c *Client) Invoke(ctx context.Context, server int, req sim.Request) (sim.Response, error) {
+	if err := ctx.Err(); err != nil {
+		return sim.Response{}, err
+	}
+	addr, ok := c.routes[server]
+	if !ok {
+		return sim.Response{}, fmt.Errorf("wire: no route for server %d", server)
+	}
+	p, err := c.pool(addr)
+	if err != nil {
+		return sim.Response{}, err
+	}
+	return p.pick().roundTrip(ctx, uint32(server), req)
+}
+
+func (c *Client) pool(addr string) (*pool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("wire: client closed")
+	}
+	p, ok := c.pools[addr]
+	if !ok {
+		p = newPool(addr, &c.cfg)
+		c.pools[addr] = p
+	}
+	return p, nil
+}
+
+// Close tears down every connection. In-flight operations observe
+// Response{OK: false}; subsequent Invokes fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	pools := c.pools
+	c.pools = make(map[string]*pool)
+	c.mu.Unlock()
+	for _, p := range pools {
+		p.close()
+	}
+	return nil
+}
+
+// pool is the fixed set of connections the client keeps to one address.
+type pool struct {
+	conns []*conn
+	next  atomic.Uint64
+}
+
+func newPool(addr string, cfg *dialConfig) *pool {
+	p := &pool{conns: make([]*conn, cfg.poolSize)}
+	for i := range p.conns {
+		p.conns[i] = &conn{addr: addr, cfg: cfg}
+	}
+	return p
+}
+
+// pick round-robins across the pool.
+func (p *pool) pick() *conn {
+	return p.conns[p.next.Add(1)%uint64(len(p.conns))]
+}
+
+func (p *pool) close() {
+	for _, cn := range p.conns {
+		cn.shutdown()
+	}
+}
+
+// conn is one pipelined connection slot: a TCP connection (re-established
+// on demand) plus the table of in-flight requests awaiting responses.
+type conn struct {
+	addr string
+	cfg  *dialConfig
+
+	// wmu serializes socket writes, separately from mu: a blocking flush
+	// must not hold the state mutex, or readLoop could not drain responses
+	// while the kernel send buffer is full — with both sides stalled on
+	// flow control, that is a distributed deadlock.
+	wmu sync.Mutex
+
+	mu         sync.Mutex
+	nc         net.Conn
+	bw         *bufio.Writer
+	nextID     uint64
+	pending    map[uint64]chan sim.Response
+	nextDialAt time.Time     // backoff gate after a failed dial
+	dialDone   chan struct{} // non-nil while a goroutine is dialing; closed when done
+	closed     bool
+}
+
+// errDown is the internal signal that the remote end is unreachable; the
+// caller translates it into Response{OK: false}.
+var errDown = fmt.Errorf("wire: server down")
+
+// roundTrip sends req and waits for its response, ctx, or connection
+// death (which counts as Response{OK: false}).
+func (cn *conn) roundTrip(ctx context.Context, server uint32, req sim.Request) (sim.Response, error) {
+	id, ch, err := cn.send(ctx, server, req)
+	if err == errDown {
+		return sim.Response{OK: false}, nil
+	}
+	if err != nil {
+		return sim.Response{}, err
+	}
+	select {
+	case resp := <-ch:
+		// Connection teardown answers all pending requests with OK: false,
+		// so a response always arrives; dead servers read as crashed.
+		return resp, nil
+	case <-ctx.Done():
+		cn.forget(id)
+		return sim.Response{}, ctx.Err()
+	}
+}
+
+// send ensures the connection is up, registers a pending entry, and
+// writes the request frame. The write itself happens outside the state
+// mutex (under wmu) so responses keep flowing while it blocks.
+func (cn *conn) send(ctx context.Context, server uint32, req sim.Request) (uint64, chan sim.Response, error) {
+	if err := cn.ensureConn(ctx); err != nil {
+		return 0, nil, err
+	}
+	cn.mu.Lock()
+	if cn.closed {
+		cn.mu.Unlock()
+		return 0, nil, fmt.Errorf("wire: client closed")
+	}
+	if cn.nc == nil {
+		// The connection died between ensureConn and here; treat the
+		// servers behind it as down rather than re-dialing in a loop.
+		cn.mu.Unlock()
+		return 0, nil, errDown
+	}
+	cn.nextID++
+	id := cn.nextID
+	frame, err := AppendRequest(nil, id, server, req)
+	if err != nil {
+		cn.mu.Unlock()
+		return 0, nil, err // oversized value: caller bug, abort
+	}
+	ch := make(chan sim.Response, 1)
+	cn.pending[id] = ch
+	nc, bw := cn.nc, cn.bw
+	cn.mu.Unlock()
+
+	cn.wmu.Lock()
+	_, werr := bw.Write(frame)
+	if werr == nil {
+		werr = bw.Flush()
+	}
+	cn.wmu.Unlock()
+	if werr != nil {
+		cn.mu.Lock()
+		cn.teardownLocked(nc)
+		cn.mu.Unlock()
+		// Teardown (ours, or a concurrent one that beat us to it) already
+		// answered the pending entry with OK: false if it was still
+		// registered; reporting errDown here reads the same to the caller.
+		return 0, nil, errDown
+	}
+	return id, ch, nil
+}
+
+// ensureConn returns once a connection is established (by this goroutine
+// or a concurrent one), the address is in redial backoff (errDown), or
+// ctx is done. The dial itself runs outside cn.mu so concurrent probes —
+// and the response readLoop — are never blocked behind a slow connect;
+// they either wait interruptibly on the dialer's completion channel or
+// fail fast on the backoff gate.
+func (cn *conn) ensureConn(ctx context.Context) error {
+	for {
+		cn.mu.Lock()
+		switch {
+		case cn.closed:
+			cn.mu.Unlock()
+			return fmt.Errorf("wire: client closed")
+		case cn.nc != nil:
+			cn.mu.Unlock()
+			return nil
+		case cn.dialDone != nil:
+			// Another goroutine is dialing; wait for its outcome without
+			// holding the mutex, then re-examine the state.
+			done := cn.dialDone
+			cn.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-done:
+				continue
+			}
+		case time.Now().Before(cn.nextDialAt):
+			cn.mu.Unlock()
+			return errDown
+		}
+		done := make(chan struct{})
+		cn.dialDone = done
+		cn.mu.Unlock()
+
+		d := net.Dialer{Timeout: cn.cfg.dialTimeout}
+		nc, err := d.DialContext(ctx, "tcp", cn.addr)
+
+		cn.mu.Lock()
+		cn.dialDone = nil
+		close(done)
+		if err != nil {
+			// Arm the backoff only for genuine dial failures: a dial cut
+			// short by the caller's own ctx says nothing about the address,
+			// and must not mark a healthy shard down.
+			ctxErr := ctx.Err()
+			if ctxErr == nil {
+				cn.nextDialAt = time.Now().Add(cn.cfg.redialBackoff)
+			}
+			cn.mu.Unlock()
+			if ctxErr != nil {
+				return ctxErr
+			}
+			return errDown
+		}
+		if cn.closed {
+			cn.mu.Unlock()
+			nc.Close()
+			return fmt.Errorf("wire: client closed")
+		}
+		cn.nc = nc
+		cn.bw = bufio.NewWriter(nc)
+		cn.pending = make(map[uint64]chan sim.Response)
+		go cn.readLoop(nc)
+		cn.mu.Unlock()
+		return nil
+	}
+}
+
+// readLoop dispatches response frames to their pending channels until the
+// connection dies, then fails whatever is still in flight.
+func (cn *conn) readLoop(nc net.Conn) {
+	br := bufio.NewReader(nc)
+	var buf []byte
+	for {
+		frame, err := ReadFrame(br, buf)
+		if err != nil {
+			break
+		}
+		buf = frame
+		id, resp, err := DecodeResponse(frame)
+		if err != nil {
+			break // corrupt stream: no way to re-synchronize
+		}
+		cn.mu.Lock()
+		ch, ok := cn.pending[id]
+		if ok {
+			delete(cn.pending, id)
+		}
+		cn.mu.Unlock()
+		if ok {
+			ch <- resp // buffered; never blocks
+		}
+	}
+	cn.mu.Lock()
+	cn.teardownLocked(nc)
+	cn.mu.Unlock()
+}
+
+// teardownLocked closes nc and, if it is still the active connection,
+// answers every pending request with OK: false so waiters treat the
+// remote servers as crashed. Called with cn.mu held.
+func (cn *conn) teardownLocked(nc net.Conn) {
+	nc.Close()
+	if cn.nc != nc {
+		return
+	}
+	cn.nc = nil
+	cn.bw = nil
+	for id, ch := range cn.pending {
+		delete(cn.pending, id)
+		ch <- sim.Response{OK: false}
+	}
+}
+
+// forget drops a pending entry after ctx cancellation; a late response
+// for it is discarded by readLoop.
+func (cn *conn) forget(id uint64) {
+	cn.mu.Lock()
+	delete(cn.pending, id)
+	cn.mu.Unlock()
+}
+
+func (cn *conn) shutdown() {
+	cn.mu.Lock()
+	cn.closed = true
+	if cn.nc != nil {
+		cn.teardownLocked(cn.nc)
+	}
+	cn.mu.Unlock()
+}

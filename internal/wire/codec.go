@@ -1,0 +1,191 @@
+// Package wire runs the [MR98a] register protocol over real TCP. It
+// supplies the three pieces the in-memory simulator deliberately left
+// pluggable behind sim.Transport:
+//
+//   - a length-prefixed binary wire format for sim.Request/sim.Response
+//     frames, with request IDs so one connection can carry many
+//     outstanding operations (this file);
+//   - Server, a TCP listener hosting a shard of sim.Server replicas
+//     behind concurrent connection handlers with graceful shutdown
+//     (server.go);
+//   - Client, a sim.Transport that routes each probe to the address
+//     hosting that server, with per-address connection pooling, request
+//     pipelining and automatic reconnect (client.go). A server that is
+//     unreachable answers Response{OK: false} — exactly the suspicion
+//     signal the quorum re-selection logic expects — so a Cluster built
+//     over a wire.Client behaves like one over the in-memory transport.
+//
+// The combination turns the reproduction into an actual distributed
+// system: cmd/bqs-server hosts shards of the universe, cmd/bqs-client
+// drives the mixed workload against them, and the measured peak load is
+// directly comparable to the paper's L(Q) bounds (Theorem 4.1).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"bqs/internal/sim"
+)
+
+// Frame layout. Every message is a 4-byte big-endian payload length
+// followed by the payload; the first payload byte tags the message kind.
+//
+//	request  := tagRequest id:u64 server:u32 op:u8 reader:i64 value
+//	response := tagResponse id:u64 flags:u8 value
+//	value    := seq:i64 writer:i64 len:u32 bytes
+//
+// id is the pipelining correlation token: the client picks it, the server
+// echoes it, and responses may arrive in any order. flags bit 0 is
+// Response.OK. All integers are big-endian; Timestamp.Writer and
+// Request.ReaderID travel as 64-bit two's complement so negative sentinel
+// writers (the collusion timestamps use Writer = −1) survive the trip.
+const (
+	tagRequest  = 0x51
+	tagResponse = 0x52
+
+	// MaxFrame bounds a payload so a corrupt or hostile length prefix
+	// cannot make a peer allocate unboundedly. It also caps the value a
+	// write can carry (MaxValueLen).
+	MaxFrame = 1 << 20
+
+	valueHeaderLen   = 8 + 8 + 4         // seq + writer + len
+	requestOverhead  = 1 + 8 + 4 + 1 + 8 // tag + id + server + op + reader
+	responseOverhead = 1 + 8 + 1         // tag + id + flags
+	reqHeaderLen     = requestOverhead + valueHeaderLen
+	respHeaderLen    = responseOverhead + valueHeaderLen
+
+	// MaxValueLen is the longest register value a frame can carry.
+	MaxValueLen = MaxFrame - reqHeaderLen
+)
+
+const flagOK = 1 << 0
+
+func appendValue(dst []byte, tv sim.TaggedValue) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, uint64(tv.TS.Seq))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(int64(tv.TS.Writer)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(tv.Value)))
+	return append(dst, tv.Value...)
+}
+
+func decodeValue(p []byte) (sim.TaggedValue, []byte, error) {
+	if len(p) < valueHeaderLen {
+		return sim.TaggedValue{}, nil, fmt.Errorf("wire: truncated value header (%d bytes)", len(p))
+	}
+	var tv sim.TaggedValue
+	tv.TS.Seq = int64(binary.BigEndian.Uint64(p))
+	tv.TS.Writer = int(int64(binary.BigEndian.Uint64(p[8:])))
+	n := binary.BigEndian.Uint32(p[16:])
+	p = p[valueHeaderLen:]
+	if n > MaxValueLen {
+		return sim.TaggedValue{}, nil, fmt.Errorf("wire: value length %d exceeds %d", n, MaxValueLen)
+	}
+	if uint32(len(p)) < n {
+		return sim.TaggedValue{}, nil, fmt.Errorf("wire: truncated value (%d of %d bytes)", len(p), n)
+	}
+	tv.Value = string(p[:n])
+	return tv, p[n:], nil
+}
+
+// AppendRequest appends a complete request frame (length prefix included)
+// for req addressed to the given global server index, correlated by id.
+func AppendRequest(dst []byte, id uint64, server uint32, req sim.Request) ([]byte, error) {
+	if len(req.Value.Value) > MaxValueLen {
+		return dst, fmt.Errorf("wire: value of %d bytes exceeds %d", len(req.Value.Value), MaxValueLen)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(reqHeaderLen+len(req.Value.Value)))
+	dst = append(dst, tagRequest)
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	dst = binary.BigEndian.AppendUint32(dst, server)
+	dst = append(dst, byte(req.Op))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(int64(req.ReaderID)))
+	return appendValue(dst, req.Value), nil
+}
+
+// DecodeRequest parses a request payload (the frame minus its length
+// prefix, as returned by ReadFrame).
+func DecodeRequest(p []byte) (id uint64, server uint32, req sim.Request, err error) {
+	if len(p) < reqHeaderLen {
+		return 0, 0, sim.Request{}, fmt.Errorf("wire: request payload of %d bytes shorter than header %d", len(p), reqHeaderLen)
+	}
+	if p[0] != tagRequest {
+		return 0, 0, sim.Request{}, fmt.Errorf("wire: payload tag %#x is not a request", p[0])
+	}
+	id = binary.BigEndian.Uint64(p[1:])
+	server = binary.BigEndian.Uint32(p[9:])
+	req.Op = sim.Op(p[13])
+	req.ReaderID = int(int64(binary.BigEndian.Uint64(p[14:])))
+	tv, rest, err := decodeValue(p[requestOverhead:])
+	if err != nil {
+		return 0, 0, sim.Request{}, err
+	}
+	if len(rest) != 0 {
+		return 0, 0, sim.Request{}, fmt.Errorf("wire: %d trailing bytes after request", len(rest))
+	}
+	req.Value = tv
+	return id, server, req, nil
+}
+
+// AppendResponse appends a complete response frame answering request id.
+func AppendResponse(dst []byte, id uint64, resp sim.Response) ([]byte, error) {
+	if len(resp.Value.Value) > MaxValueLen {
+		return dst, fmt.Errorf("wire: value of %d bytes exceeds %d", len(resp.Value.Value), MaxValueLen)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(respHeaderLen+len(resp.Value.Value)))
+	dst = append(dst, tagResponse)
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	var flags byte
+	if resp.OK {
+		flags |= flagOK
+	}
+	dst = append(dst, flags)
+	return appendValue(dst, resp.Value), nil
+}
+
+// DecodeResponse parses a response payload.
+func DecodeResponse(p []byte) (id uint64, resp sim.Response, err error) {
+	if len(p) < respHeaderLen {
+		return 0, sim.Response{}, fmt.Errorf("wire: response payload of %d bytes shorter than header %d", len(p), respHeaderLen)
+	}
+	if p[0] != tagResponse {
+		return 0, sim.Response{}, fmt.Errorf("wire: payload tag %#x is not a response", p[0])
+	}
+	id = binary.BigEndian.Uint64(p[1:])
+	if p[9]&^flagOK != 0 {
+		return 0, sim.Response{}, fmt.Errorf("wire: unknown response flags %#x", p[9])
+	}
+	resp.OK = p[9]&flagOK != 0
+	tv, rest, err := decodeValue(p[responseOverhead:])
+	if err != nil {
+		return 0, sim.Response{}, err
+	}
+	if len(rest) != 0 {
+		return 0, sim.Response{}, fmt.Errorf("wire: %d trailing bytes after response", len(rest))
+	}
+	resp.Value = tv
+	return id, resp, nil
+}
+
+// ReadFrame reads one length-prefixed payload from r, reusing buf when it
+// is large enough. The prefix counts the payload only (not itself), and
+// ReadFrame refuses payloads larger than MaxFrame, so a garbage prefix
+// fails fast instead of forcing a huge allocation.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame length %d outside [1,%d]", n, MaxFrame)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

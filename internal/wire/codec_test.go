@@ -1,0 +1,280 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"bqs/internal/sim"
+)
+
+var requestCases = []struct {
+	name   string
+	id     uint64
+	server uint32
+	req    sim.Request
+}{
+	{"zero", 0, 0, sim.Request{}},
+	{"read", 7, 3, sim.Request{Op: sim.OpRead, ReaderID: 42}},
+	{"read-timestamps", 1, 1021, sim.Request{Op: sim.OpReadTimestamps, ReaderID: -1}},
+	{"write", math.MaxUint64, math.MaxUint32, sim.Request{
+		Op:    sim.OpWrite,
+		Value: sim.TaggedValue{Value: "hello", TS: sim.Timestamp{Seq: 9, Writer: 2}},
+	}},
+	{"write-negative-writer", 5, 0, sim.Request{
+		Op:    sim.OpWrite,
+		Value: sim.TaggedValue{Value: "x", TS: sim.Timestamp{Seq: 1 << 40, Writer: -1}},
+	}},
+	{"write-extremes", 6, 1, sim.Request{
+		Op:       sim.OpWrite,
+		ReaderID: math.MinInt32,
+		Value:    sim.TaggedValue{Value: "\x00\xff\xfe utf8 ✓", TS: sim.Timestamp{Seq: math.MinInt64, Writer: math.MaxInt32}},
+	}},
+	{"write-empty-value", 8, 2, sim.Request{
+		Op:    sim.OpWrite,
+		Value: sim.TaggedValue{TS: sim.Timestamp{Seq: math.MaxInt64, Writer: math.MinInt32}},
+	}},
+	{"write-large-value", 9, 3, sim.Request{
+		Op:    sim.OpWrite,
+		Value: sim.TaggedValue{Value: strings.Repeat("v", 1<<16), TS: sim.Timestamp{Seq: 2, Writer: 0}},
+	}},
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	for _, tc := range requestCases {
+		t.Run(tc.name, func(t *testing.T) {
+			frame, err := AppendRequest(nil, tc.id, tc.server, tc.req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload, err := ReadFrame(bytes.NewReader(frame), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			id, server, req, err := DecodeRequest(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id != tc.id || server != tc.server || req != tc.req {
+				t.Fatalf("round trip mangled message:\n got (%d, %d, %+v)\nwant (%d, %d, %+v)",
+					id, server, req, tc.id, tc.server, tc.req)
+			}
+		})
+	}
+}
+
+var responseCases = []struct {
+	name string
+	id   uint64
+	resp sim.Response
+}{
+	{"zero", 0, sim.Response{}},
+	{"unresponsive", 3, sim.Response{OK: false}},
+	{"ok-empty", 4, sim.Response{OK: true}},
+	{"ok-value", 5, sim.Response{OK: true, Value: sim.TaggedValue{Value: "v", TS: sim.Timestamp{Seq: 12, Writer: 3}}}},
+	{"fabricated", 6, sim.Response{OK: true, Value: sim.TaggedValue{Value: sim.FabricatedValue, TS: sim.Timestamp{Seq: 1 << 40, Writer: -1}}}},
+	{"extremes", math.MaxUint64, sim.Response{OK: true, Value: sim.TaggedValue{Value: strings.Repeat("\xff", 999), TS: sim.Timestamp{Seq: math.MinInt64, Writer: math.MinInt32}}}},
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	for _, tc := range responseCases {
+		t.Run(tc.name, func(t *testing.T) {
+			frame, err := AppendResponse(nil, tc.id, tc.resp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload, err := ReadFrame(bytes.NewReader(frame), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			id, resp, err := DecodeResponse(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id != tc.id || resp != tc.resp {
+				t.Fatalf("round trip mangled message:\n got (%d, %+v)\nwant (%d, %+v)", id, resp, tc.id, tc.resp)
+			}
+		})
+	}
+}
+
+func TestAppendRejectsOversizedValue(t *testing.T) {
+	huge := strings.Repeat("x", MaxValueLen+1)
+	if _, err := AppendRequest(nil, 1, 0, sim.Request{Op: sim.OpWrite, Value: sim.TaggedValue{Value: huge}}); err == nil {
+		t.Fatal("AppendRequest accepted a value longer than MaxValueLen")
+	}
+	if _, err := AppendResponse(nil, 1, sim.Response{OK: true, Value: sim.TaggedValue{Value: huge}}); err == nil {
+		t.Fatal("AppendResponse accepted a value longer than MaxValueLen")
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	good, err := AppendRequest(nil, 1, 2, sim.Request{Op: sim.OpWrite, Value: sim.TaggedValue{Value: "ok"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := good[4:]
+	cases := map[string][]byte{
+		"empty":        {},
+		"short-header": payload[:10],
+		"wrong-tag":    append([]byte{tagResponse}, payload[1:]...),
+		"trailing":     append(append([]byte{}, payload...), 0xAA),
+		"value-overrun": func() []byte {
+			p := append([]byte{}, payload...)
+			// Inflate the declared value length past the actual bytes.
+			binary.BigEndian.PutUint32(p[requestOverhead+16:], 1000)
+			return p
+		}(),
+	}
+	for name, p := range cases {
+		if _, _, _, err := DecodeRequest(p); err == nil {
+			t.Errorf("%s: DecodeRequest accepted malformed payload", name)
+		}
+	}
+	if _, _, err := DecodeResponse(payload); err == nil {
+		t.Error("DecodeResponse accepted a request payload")
+	}
+}
+
+func TestReadFrameLimits(t *testing.T) {
+	var tooBig [4]byte
+	binary.BigEndian.PutUint32(tooBig[:], MaxFrame+1)
+	if _, err := ReadFrame(bytes.NewReader(tooBig[:]), nil); err == nil {
+		t.Fatal("ReadFrame accepted an over-limit length prefix")
+	}
+	var zero [4]byte
+	if _, err := ReadFrame(bytes.NewReader(zero[:]), nil); err == nil {
+		t.Fatal("ReadFrame accepted a zero-length frame")
+	}
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0}), nil); err == nil {
+		t.Fatal("ReadFrame accepted a truncated prefix")
+	}
+	// Truncated payload: prefix promises more than the stream holds.
+	frame, err := AppendResponse(nil, 1, sim.Response{OK: true, Value: sim.TaggedValue{Value: "abc"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(frame[:len(frame)-1]), nil); err == nil {
+		t.Fatal("ReadFrame accepted a truncated payload")
+	}
+}
+
+func TestReadFrameReusesBuffer(t *testing.T) {
+	var stream bytes.Buffer
+	for i := 0; i < 3; i++ {
+		frame, err := AppendResponse(nil, uint64(i), sim.Response{OK: true, Value: sim.TaggedValue{Value: "abc"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Write(frame)
+	}
+	var buf []byte
+	for i := 0; i < 3; i++ {
+		payload, err := ReadFrame(&stream, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, resp, err := DecodeResponse(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != uint64(i) || resp.Value.Value != "abc" {
+			t.Fatalf("frame %d mangled: id=%d resp=%+v", i, id, resp)
+		}
+		buf = payload
+	}
+	if _, err := ReadFrame(&stream, buf); err != io.EOF {
+		t.Fatalf("want io.EOF at stream end, got %v", err)
+	}
+}
+
+// FuzzDecodeRequest asserts decode never panics on arbitrary payloads,
+// and that anything it does accept re-encodes to an identical frame.
+func FuzzDecodeRequest(f *testing.F) {
+	for _, tc := range requestCases {
+		frame, err := AppendRequest(nil, tc.id, tc.server, tc.req)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame[4:])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{tagRequest})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		id, server, req, err := DecodeRequest(payload)
+		if err != nil {
+			return
+		}
+		frame, err := AppendRequest(nil, id, server, req)
+		if err != nil {
+			t.Fatalf("decoded request fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(frame[4:], payload) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", frame[4:], payload)
+		}
+	})
+}
+
+// FuzzDecodeResponse is the response-side twin of FuzzDecodeRequest.
+func FuzzDecodeResponse(f *testing.F) {
+	for _, tc := range responseCases {
+		frame, err := AppendResponse(nil, tc.id, tc.resp)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame[4:])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{tagResponse})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		id, resp, err := DecodeResponse(payload)
+		if err != nil {
+			return
+		}
+		frame, err := AppendResponse(nil, id, resp)
+		if err != nil {
+			t.Fatalf("decoded response fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(frame[4:], payload) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", frame[4:], payload)
+		}
+	})
+}
+
+// FuzzRequestRoundTrip drives the encoder with arbitrary field values and
+// asserts the decoder returns them bit-for-bit.
+func FuzzRequestRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint32(3), byte(sim.OpWrite), int64(42), int64(7), int64(2), "value")
+	f.Add(uint64(0), uint32(0), byte(0), int64(-1), int64(math.MinInt64), int64(-1), "")
+	f.Fuzz(func(t *testing.T, id uint64, server uint32, op byte, reader, seq, writer int64, value string) {
+		req := sim.Request{
+			Op:       sim.Op(op),
+			ReaderID: int(reader),
+			Value:    sim.TaggedValue{Value: value, TS: sim.Timestamp{Seq: seq, Writer: int(writer)}},
+		}
+		frame, err := AppendRequest(nil, id, server, req)
+		if err != nil {
+			if len(value) > MaxValueLen {
+				return // correctly rejected
+			}
+			t.Fatal(err)
+		}
+		payload, err := ReadFrame(bytes.NewReader(frame), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotID, gotServer, gotReq, err := DecodeRequest(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// ReaderID and Writer travel as 64-bit, so they survive exactly on
+		// 64-bit platforms (int == int64 everywhere this repo targets).
+		if gotID != id || gotServer != server || gotReq != req {
+			t.Fatalf("round trip mangled message:\n got (%d, %d, %+v)\nwant (%d, %d, %+v)",
+				gotID, gotServer, gotReq, id, server, req)
+		}
+	})
+}

@@ -1,0 +1,57 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseIDRange(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []int
+	}{
+		{"0-3", []int{0, 1, 2, 3}},
+		{"7", []int{7}},
+		{"5-5", []int{5}},
+	}
+	for _, tc := range cases {
+		got, err := ParseIDRange(tc.spec)
+		if err != nil {
+			t.Errorf("ParseIDRange(%q): %v", tc.spec, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseIDRange(%q) = %v, want %v", tc.spec, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "x", "3-1", "-2", "1-", "-", "1-2-3", "1.5", "0-4294967295"} {
+		if _, err := ParseIDRange(bad); err == nil {
+			t.Errorf("ParseIDRange(%q) accepted a bad spec", bad)
+		}
+	}
+}
+
+func TestParseRoutes(t *testing.T) {
+	routes, err := ParseRoutes("0-2=a:1, 3=b:2 ,4-5=c:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]string{0: "a:1", 1: "a:1", 2: "a:1", 3: "b:2", 4: "c:3", 5: "c:3"}
+	if !reflect.DeepEqual(routes, want) {
+		t.Fatalf("ParseRoutes = %v, want %v", routes, want)
+	}
+	if err := CheckCoverage(routes, 6); err != nil {
+		t.Fatalf("CheckCoverage rejected a full table: %v", err)
+	}
+	if err := CheckCoverage(routes, 7); err == nil {
+		t.Fatal("CheckCoverage accepted a table missing server 6")
+	}
+	if err := CheckCoverage(routes, 5); err == nil {
+		t.Fatal("CheckCoverage accepted a route outside the universe")
+	}
+	for _, bad := range []string{"", "0-2", "0-2=", "=a:1", "0-2=a:1,2=b:9", "x=a:1"} {
+		if _, err := ParseRoutes(bad); err == nil {
+			t.Errorf("ParseRoutes(%q) accepted a bad spec", bad)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"sync"
+
+	"bqs/internal/sim"
+)
+
+// ErrServerClosed is returned by Serve and ListenAndServe after Shutdown
+// or Close, mirroring net/http's contract.
+var ErrServerClosed = errors.New("wire: server closed")
+
+// Server hosts a shard of the universe: a set of sim.Server replicas,
+// keyed by their global server index, reachable over TCP. Connections are
+// handled concurrently, and each request on a connection is served in its
+// own goroutine, so a pipelining client sees true parallelism even over a
+// single socket. Replica behavior (crash and Byzantine fault injection)
+// stays the business of the underlying sim.Server objects.
+type Server struct {
+	replicas map[int]*sim.Server
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+
+	inflight sync.WaitGroup // outstanding request handlers, for Shutdown
+}
+
+// NewServer returns a Server hosting the given replicas. The map is
+// copied; mutate replica behavior through the *sim.Server values.
+func NewServer(replicas map[int]*sim.Server) *Server {
+	m := make(map[int]*sim.Server, len(replicas))
+	for id, s := range replicas {
+		m[id] = s
+	}
+	return &Server{
+		replicas:  m,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+}
+
+// Replica returns the hosted replica with the given global index, or nil.
+func (s *Server) Replica(id int) *sim.Server { return s.replicas[id] }
+
+// IDs returns the global indices this server hosts, in no particular
+// order.
+func (s *Server) IDs() []int {
+	out := make([]int, 0, len(s.replicas))
+	for id := range s.replicas {
+		out = append(out, id)
+	}
+	return out
+}
+
+// ListenAndServe listens on addr ("host:port") and calls Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(lis)
+}
+
+// Serve accepts connections on lis until Shutdown or Close, handling each
+// in its own goroutine. It always returns a non-nil error; after a clean
+// shutdown that error is ErrServerClosed.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		lis.Close()
+		return ErrServerClosed
+	}
+	s.listeners[lis] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, lis)
+		s.mu.Unlock()
+		lis.Close()
+	}()
+	for {
+		nc, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return ErrServerClosed
+		}
+		s.conns[nc] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(nc)
+	}
+}
+
+// serveConn reads request frames and answers them. A malformed frame is a
+// protocol error: the connection is dropped (a well-behaved peer never
+// sends one, and there is no way to re-synchronize a corrupt stream).
+func (s *Server) serveConn(nc net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+		nc.Close()
+	}()
+	var wmu sync.Mutex // serializes response frames from concurrent handlers
+	bw := bufio.NewWriter(nc)
+	br := bufio.NewReader(nc)
+	var buf []byte
+	for {
+		frame, err := ReadFrame(br, buf)
+		if err != nil {
+			return
+		}
+		buf = frame
+		id, server, req, err := DecodeRequest(frame)
+		if err != nil {
+			return
+		}
+		if !s.beginRequest() {
+			return // shutting down: stop consuming new frames
+		}
+		go func() {
+			defer s.inflight.Done()
+			resp := s.handle(server, req)
+			out, err := AppendResponse(nil, id, resp)
+			if err != nil {
+				// A response that cannot be encoded (oversized value from a
+				// Byzantine replica) degrades to unresponsiveness.
+				out, _ = AppendResponse(nil, id, sim.Response{OK: false})
+			}
+			wmu.Lock()
+			_, werr := bw.Write(out)
+			if werr == nil {
+				werr = bw.Flush()
+			}
+			wmu.Unlock()
+			if werr != nil {
+				nc.Close() // unblocks the read loop
+			}
+		}()
+	}
+}
+
+// beginRequest registers an in-flight request handler, refusing once
+// shutdown has begun. Gating the Add on s.closed under the mutex keeps
+// inflight.Add from racing Shutdown's inflight.Wait — the sync.WaitGroup
+// documentation forbids an Add from zero concurrent with a Wait.
+func (s *Server) beginRequest() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// handle applies one request to the addressed replica. A request for a
+// server this shard does not host answers Response{OK: false}: to the
+// client that is indistinguishable from a crash, which is the correct
+// suspicion signal for a misconfigured route.
+func (s *Server) handle(server uint32, req sim.Request) sim.Response {
+	rep, ok := s.replicas[int(server)]
+	if !ok {
+		return sim.Response{OK: false}
+	}
+	resp, err := rep.HandleRequest(req)
+	if err != nil {
+		return sim.Response{OK: false}
+	}
+	return resp
+}
+
+// Shutdown gracefully stops the server: it closes the listeners (so Serve
+// returns ErrServerClosed), waits for in-flight requests to drain, then
+// closes the connections. If ctx expires first the remaining connections
+// are closed immediately and ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	for lis := range s.listeners {
+		lis.Close()
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.closeConns()
+	return err
+}
+
+// Close force-closes the listeners and every open connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for lis := range s.listeners {
+		lis.Close()
+	}
+	s.mu.Unlock()
+	s.closeConns()
+	return nil
+}
+
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for nc := range s.conns {
+		nc.Close()
+	}
+}
