@@ -26,6 +26,13 @@ type (
 	Sampler = core.Sampler
 	// Enumerable is a System whose quorum list is materialized.
 	Enumerable = core.Enumerable
+	// Enumerator is an implicit System that can materialize its quorum
+	// list on demand (Threshold, Grid, MGrid, RT).
+	Enumerator = core.Enumerator
+	// Picker is the quorum-selection seam live clusters drive: uniform
+	// survivor selection by default, strategy-backed sampling under
+	// WithStrategy/WithOptimalStrategy.
+	Picker = core.Picker
 	// Parameterized exposes c(Q), IS(Q) and MT(Q).
 	Parameterized = core.Parameterized
 	// Masking is a b-masking System (Definition 3.5).
@@ -101,6 +108,10 @@ type (
 var (
 	// ErrNoLiveQuorum reports that every quorum intersects the failed set.
 	ErrNoLiveQuorum = core.ErrNoLiveQuorum
+	// ErrNotEnumerable reports a system that can neither list nor
+	// materialize its quorums (required by WithStrategy and
+	// WithOptimalStrategy).
+	ErrNotEnumerable = core.ErrNotEnumerable
 	// ErrNoCandidate reports a read that found no value vouched by b+1
 	// servers (possible under concurrency or excessive faults).
 	ErrNoCandidate = sim.ErrNoCandidate
@@ -244,6 +255,21 @@ func IsBMasking(p Parameterized, b int) bool { return core.IsBMasking(p, b) }
 // system, returning L(Q) and an optimal access strategy.
 func Load(sys Enumerable) (float64, *Strategy, error) { return measures.Load(sys) }
 
+// NewStrategy validates and wraps an access-strategy weight vector
+// (non-negative, summing to 1), aligned with an explicit quorum list.
+func NewStrategy(weights []float64) (*Strategy, error) { return core.NewStrategy(weights) }
+
+// UniformStrategy returns the strategy giving each of m quorums weight
+// 1/m — load-optimal exactly for fair systems (Proposition 3.9).
+func UniformStrategy(m int) *Strategy { return core.UniformStrategy(m) }
+
+// AsEnumerable returns a materialized view of sys (itself when already
+// Enumerable, its Enumerate(limit) when an Enumerator), or
+// ErrNotEnumerable.
+func AsEnumerable(sys System, limit int) (Enumerable, error) {
+	return core.AsEnumerable(sys, limit)
+}
+
 // LoadFair applies Proposition 3.9 (L = c/n for fair systems).
 func LoadFair(sys *ExplicitSystem) (float64, error) { return measures.LoadFair(sys) }
 
@@ -314,6 +340,20 @@ func WithLatency(base, jitter time.Duration) ClusterOption { return sim.WithLate
 func WithTransport(f func(servers []*Server) Transport) ClusterOption {
 	return sim.WithTransport(f)
 }
+
+// WithStrategy drives quorum selection from the given access strategy
+// (Definition 3.8) instead of uniform survivor selection; the weights
+// must align with the system's quorum list (the system must be
+// Enumerable or Enumerator). Under suspicion the strategy renormalizes
+// over surviving quorums, falling back to uniform when all surviving
+// weight is zero.
+func WithStrategy(st *Strategy) ClusterOption { return sim.WithStrategy(st) }
+
+// WithOptimalStrategy solves the Definition 3.8 load LP at construction
+// and installs the optimal access strategy, so the cluster's measured
+// load converges to L(Q) itself; Cluster.StrategyLoad reports the LP
+// value. The system must be Enumerable or Enumerator.
+func WithOptimalStrategy() ClusterOption { return sim.WithOptimalStrategy() }
 
 // WithDeterministic probes quorum members sequentially from the calling
 // goroutine, restoring the exactly reproducible single-threaded mode.

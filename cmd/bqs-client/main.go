@@ -38,8 +38,9 @@ func main() {
 }
 
 func run() error {
-	system := flag.String("system", "mgrid", "quorum system: threshold|grid|mgrid|rt|boostfpp|mpath")
+	system := flag.String("system", "mgrid", "quorum system: threshold|grid|mgrid|rt|boostfpp|mpath|wheel")
 	b := flag.Int("b", 1, "masking bound b")
+	strategy := flag.String("strategy", "uniform", "quorum selection: uniform|optimal (optimal installs the Definition 3.8 LP strategy)")
 	routes := flag.String("routes", "", "route table, e.g. 0-8=host:7000,9-24=host:7001 (required)")
 	clients := flag.Int("clients", 8, "concurrent clients")
 	ops := flag.Int("ops", 100, "operations per client (ignored when -duration is set)")
@@ -70,8 +71,16 @@ func run() error {
 		return err
 	}
 	defer tr.Close()
-	cluster, err := bqs.NewCluster(sys, *b, bqs.WithSeed(*seed),
-		bqs.WithTransport(func([]*bqs.Server) bqs.Transport { return tr }))
+	opts := []bqs.ClusterOption{bqs.WithSeed(*seed),
+		bqs.WithTransport(func([]*bqs.Server) bqs.Transport { return tr })}
+	stratOpt, err := harness.StrategyOption(*strategy)
+	if err != nil {
+		return err
+	}
+	if stratOpt != nil {
+		opts = append(opts, stratOpt)
+	}
+	cluster, err := bqs.NewCluster(sys, *b, opts...)
 	if err != nil {
 		return err
 	}
@@ -81,7 +90,7 @@ func run() error {
 		shards[addr] = true
 	}
 	w := harness.Workload{Clients: *clients, Ops: *ops, Duration: *duration, Timeout: *timeout}
-	fmt.Printf("workload: %s against %d shards\n", w.Describe(), len(shards))
+	fmt.Printf("workload: %s against %d shards (strategy=%s)\n", w.Describe(), len(shards), *strategy)
 
 	counters := harness.Run(cluster, w)
 	harness.Report(cluster, sys, *b, counters)

@@ -7,19 +7,24 @@
 //
 // Usage:
 //
-//	bqs-sim [-system threshold|grid|mgrid|rt|boostfpp|mpath] [-b 3]
-//	        [-byzantine 3] [-crashed 2] [-clients 8] [-ops 100]
-//	        [-duration 0] [-drop 0] [-latency 0] [-jitter 0] [-timeout 0]
-//	        [-deterministic] [-seed 1]
+//	bqs-sim [-system threshold|grid|mgrid|rt|boostfpp|mpath|wheel] [-b 3]
+//	        [-strategy uniform|optimal] [-byzantine 3] [-crashed 2]
+//	        [-clients 8] [-ops 100] [-duration 0] [-drop 0] [-latency 0]
+//	        [-jitter 0] [-timeout 0] [-deterministic] [-seed 1]
 //
-// With -duration the run is time-bounded instead of op-bounded. The
-// workload and report come from internal/harness, shared with
-// cmd/bqs-client, so in-memory and TCP clusters are measured comparably.
+// With -duration the run is time-bounded instead of op-bounded. With
+// -strategy optimal, quorum selection samples the LP-optimal access
+// strategy of Definition 3.8 (solved at startup), so the measured load
+// converges to L(Q) itself; the run fails if a fault-free measurement
+// lands more than 10% from the LP value. The workload and report come
+// from internal/harness, shared with cmd/bqs-client, so in-memory and TCP
+// clusters are measured comparably.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 
@@ -35,8 +40,9 @@ func main() {
 }
 
 func run() error {
-	system := flag.String("system", "threshold", "quorum system: threshold|grid|mgrid|rt|boostfpp|mpath")
+	system := flag.String("system", "threshold", "quorum system: threshold|grid|mgrid|rt|boostfpp|mpath|wheel")
 	b := flag.Int("b", 3, "masking bound b")
+	strategy := flag.String("strategy", "uniform", "quorum selection: uniform|optimal (optimal installs the Definition 3.8 LP strategy)")
 	byzantine := flag.Int("byzantine", 3, "number of Byzantine (fabricating) servers to inject")
 	crashed := flag.Int("crashed", 0, "number of crashed servers to inject")
 	clients := flag.Int("clients", 8, "concurrent clients")
@@ -58,6 +64,13 @@ func run() error {
 		sys.Name(), sys.UniverseSize(), *b, bqs.Resilience(sys))
 
 	opts := []bqs.ClusterOption{bqs.WithSeed(*seed), bqs.WithDropRate(*drop), bqs.WithLatency(*latency, *jitter)}
+	stratOpt, err := harness.StrategyOption(*strategy)
+	if err != nil {
+		return err
+	}
+	if stratOpt != nil {
+		opts = append(opts, stratOpt)
+	}
 	if *deterministic {
 		opts = append(opts, bqs.WithDeterministic())
 		// Reproducibility needs a single-threaded workload: concurrent
@@ -86,15 +99,25 @@ func run() error {
 	fmt.Printf("faults: %d byzantine (fabricating), %d crashed\n", *byzantine, *crashed)
 
 	w := harness.Workload{Clients: *clients, Ops: *ops, Duration: *duration, Timeout: *timeout}
-	fmt.Printf("workload: %s (drop=%.3f, latency=%v±%v)\n", w.Describe(), *drop, *latency, *jitter)
+	fmt.Printf("workload: %s (strategy=%s, drop=%.3f, latency=%v±%v)\n",
+		w.Describe(), *strategy, *drop, *latency, *jitter)
 
 	counters := harness.Run(cluster, w)
-	peak, lower := harness.Report(cluster, sys, *b, counters)
-	if *byzantine <= *b && *crashed == 0 && *drop == 0 && peak < lower {
-		knob := "-ops"
-		if *duration > 0 {
-			knob = "-duration"
+	sum := harness.Report(cluster, sys, *b, counters)
+	knob := "-ops"
+	if *duration > 0 {
+		knob = "-duration"
+	}
+	switch {
+	case !math.IsNaN(sum.StrategyLoad) && *crashed == 0 && *drop == 0:
+		// With the LP strategy installed and no fault-driven re-selection,
+		// the measurement must track the LP value — this is the acceptance
+		// check for the LP-to-live path.
+		if dev := sum.Peak/sum.StrategyLoad - 1; math.Abs(dev) > 0.10 {
+			return fmt.Errorf("measured peak load %.4f is %+.1f%% from the LP L(Q) = %.4f (outside 10%%) — increase %s for convergence, or report a strategy bug",
+				sum.Peak, 100*dev, sum.StrategyLoad, knob)
 		}
+	case math.IsNaN(sum.StrategyLoad) && *byzantine <= *b && *crashed == 0 && *drop == 0 && sum.Peak < sum.Lower:
 		fmt.Printf("  note: measurement below the lower bound — increase %s for convergence\n", knob)
 	}
 

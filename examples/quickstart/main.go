@@ -60,5 +60,23 @@ func run() error {
 		mc.Estimate, mc.StdErr, mc.Trials)
 	fmt.Printf("lower bound p^MT = %.2e (Prop 4.3)\n",
 		bqs.CrashLowerBoundMT(sys.MinTransversal(), 0.10))
+
+	// Access strategies: M-Grid is fair, so uniform selection is already
+	// load-optimal (Prop 3.9) — but for an unbalanced system the choice of
+	// strategy is the whole game. The wheel's hub sits in n−1 of its n
+	// quorums: picked uniformly it melts, while the Definition 3.8 LP
+	// shifts weight to the rim and nearly halves the load.
+	wheel, err := bqs.NewWheel(12)
+	if err != nil {
+		return err
+	}
+	lq, _, err := bqs.Load(wheel) // LP: L(Q) with an optimal strategy
+	if err != nil {
+		return err
+	}
+	uniform := bqs.UniformStrategy(wheel.NumQuorums()).InducedSystemLoad(wheel)
+	fmt.Printf("\nwheel(12) access strategies: uniform load %.3f vs LP-optimal L(Q) = %.3f\n",
+		uniform, lq)
+	fmt.Println("(run bqs-sim -system wheel -b 0 -strategy optimal to watch live traffic hit the LP value)")
 	return nil
 }

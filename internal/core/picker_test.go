@@ -1,0 +1,211 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"bqs/internal/bitset"
+)
+
+// TestSampleSkipsLeadingZeroWeight is the regression test for the sampling
+// boundary bug: rng.Float64() can return exactly 0, and the old search
+// over the cumulative weights then returned index 0 even when
+// weights[0] == 0. A zero-weight quorum must never be sampled.
+func TestSampleSkipsLeadingZeroWeight(t *testing.T) {
+	st, err := NewStrategy([]float64{0, 0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.sampleAt(0); got == 0 {
+		t.Fatalf("sampleAt(0) = 0, a zero-weight quorum")
+	}
+	// The selection intervals must be exactly the weights: [0, 0.5) → 1,
+	// [0.5, 1) → 2.
+	cases := []struct {
+		u    float64
+		want int
+	}{
+		{0, 1}, {0.25, 1}, {0.5 - 1e-12, 1}, {0.5, 2}, {0.75, 2}, {1 - 1e-12, 2},
+	}
+	for _, tc := range cases {
+		if got := st.sampleAt(tc.u); got != tc.want {
+			t.Errorf("sampleAt(%v) = %d, want %d", tc.u, got, tc.want)
+		}
+	}
+}
+
+// TestSampleTrailingZeroWeightRounding covers the other float edge: when
+// rounding leaves the final cumulative weight marginally below 1, a u in
+// the gap must not land on a trailing zero-weight quorum.
+func TestSampleTrailingZeroWeightRounding(t *testing.T) {
+	st := &Strategy{
+		weights: []float64{0.6, 0.4 - 1e-10, 0},
+		cum:     []float64{0.6, 1 - 1e-10, 1 - 1e-10},
+	}
+	if got := st.sampleAt(1 - 5e-11); got != 1 {
+		t.Fatalf("sampleAt in the rounding gap = %d, want 1 (the last positive weight)", got)
+	}
+}
+
+// TestSampleNeverReturnsZeroWeight hammers a strategy with interleaved
+// zero weights and checks both exclusion and the sampled frequencies.
+func TestSampleNeverReturnsZeroWeight(t *testing.T) {
+	weights := []float64{0, 0.25, 0, 0.75, 0}
+	st, err := NewStrategy(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	const trials = 20000
+	counts := make([]int, len(weights))
+	for i := 0; i < trials; i++ {
+		counts[st.Sample(rng)]++
+	}
+	for i, w := range weights {
+		got := float64(counts[i]) / trials
+		if w == 0 && counts[i] > 0 {
+			t.Errorf("zero-weight quorum %d sampled %d times", i, counts[i])
+		}
+		if w > 0 && math.Abs(got-w) > 0.02 {
+			t.Errorf("quorum %d sampled at frequency %.4f, want ≈ %.2f", i, got, w)
+		}
+	}
+}
+
+func pickerSystem(t *testing.T) *ExplicitSystem {
+	t.Helper()
+	s, err := NewExplicit("maj3", 3, sets([]int{0, 1}, []int{0, 2}, []int{1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestUniformPickerDelegates(t *testing.T) {
+	sys := pickerSystem(t)
+	p := NewUniformPicker(sys)
+	rng := rand.New(rand.NewSource(1))
+	dead := bitset.FromSlice([]int{0})
+	for i := 0; i < 50; i++ {
+		q, err := p.PickQuorum(rng, dead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Contains(0) {
+			t.Fatalf("picked quorum %v contains the dead server", q)
+		}
+	}
+}
+
+// TestStrategyPickerHotPath checks the failure-free path follows the
+// strategy exactly: frequencies match weights and the zero-weight quorum
+// is never selected.
+func TestStrategyPickerHotPath(t *testing.T) {
+	sys := pickerSystem(t)
+	st, err := NewStrategy([]float64{0.7, 0.3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewStrategyPicker(sys, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.InducedLoad(); math.Abs(got-1.0) > 1e-9 {
+		// Element 0 is in both positive-weight quorums: l_w(0) = 1.
+		t.Fatalf("InducedLoad = %v, want 1", got)
+	}
+	rng := rand.New(rand.NewSource(7))
+	counts := make(map[string]int)
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		q, err := p.PickQuorum(rng, bitset.Set{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[q.String()]++
+	}
+	if counts["{1, 2}"] > 0 {
+		t.Fatalf("zero-weight quorum {1, 2} sampled %d times", counts["{1, 2}"])
+	}
+	if f := float64(counts["{0, 1}"]) / trials; math.Abs(f-0.7) > 0.02 {
+		t.Fatalf("quorum {0, 1} at frequency %.3f, want ≈ 0.7", f)
+	}
+}
+
+// TestStrategyPickerRenormalizesOnDead checks conditioning on the live
+// set: weights renormalize over the quorums disjoint from dead.
+func TestStrategyPickerRenormalizesOnDead(t *testing.T) {
+	sys := pickerSystem(t)
+	st, err := NewStrategy([]float64{0.5, 0.5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewStrategyPicker(sys, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+
+	// dead = {1}: only {0, 2} survives; all 0.5 of its weight becomes 1.
+	dead := bitset.FromSlice([]int{1})
+	for i := 0; i < 100; i++ {
+		q, err := p.PickQuorum(rng, dead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.String() != "{0, 2}" {
+			t.Fatalf("pick with dead {1} = %v, want {0, 2}", q)
+		}
+	}
+
+	// dead = {0}: only the zero-weight {1, 2} survives — the uniform
+	// fallback must return it rather than sampling a dead quorum.
+	dead = bitset.FromSlice([]int{0})
+	for i := 0; i < 100; i++ {
+		q, err := p.PickQuorum(rng, dead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.String() != "{1, 2}" {
+			t.Fatalf("pick with dead {0} = %v, want the fallback {1, 2}", q)
+		}
+	}
+
+	// dead = {0, 2}: every quorum intersects — crash(Q).
+	if _, err := p.PickQuorum(rng, bitset.FromSlice([]int{0, 2})); !errors.Is(err, ErrNoLiveQuorum) {
+		t.Fatalf("err = %v, want ErrNoLiveQuorum", err)
+	}
+}
+
+func TestNewStrategyPickerLengthMismatch(t *testing.T) {
+	sys := pickerSystem(t)
+	st, err := NewStrategy([]float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStrategyPicker(sys, st); err == nil {
+		t.Fatal("mismatched strategy length must be rejected")
+	}
+}
+
+func TestAsEnumerable(t *testing.T) {
+	sys := pickerSystem(t)
+	en, err := AsEnumerable(sys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(en.Quorums()) != 3 {
+		t.Fatalf("enumerable view has %d quorums, want 3", len(en.Quorums()))
+	}
+	if _, err := AsEnumerable(notEnumerable{sys}, 0); !errors.Is(err, ErrNotEnumerable) {
+		t.Fatalf("err = %v, want ErrNotEnumerable", err)
+	}
+}
+
+// notEnumerable hides the quorum list, modelling an implicit system
+// without an Enumerate method.
+type notEnumerable struct{ *ExplicitSystem }
+
+func (notEnumerable) Quorums() {} // shadow with a non-matching signature

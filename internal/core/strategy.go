@@ -60,18 +60,32 @@ func (st *Strategy) Weight(i int) float64 { return st.weights[i] }
 // Len returns the number of quorums the strategy ranges over.
 func (st *Strategy) Len() int { return len(st.weights) }
 
-// Sample draws a quorum index from the strategy.
+// Sample draws a quorum index from the strategy. A zero-weight quorum is
+// never returned: index i is selected exactly when u ∈ [cum[i−1], cum[i]),
+// an interval of length weights[i], which is empty for zero weights — in
+// particular rng.Float64() returning exactly 0 cannot land on a leading
+// zero-weight quorum.
 func (st *Strategy) Sample(rng *rand.Rand) int {
-	u := rng.Float64()
-	// Binary search the cumulative distribution.
+	return st.sampleAt(rng.Float64())
+}
+
+// sampleAt maps u ∈ [0,1) to the smallest index whose cumulative weight
+// strictly exceeds u.
+func (st *Strategy) sampleAt(u float64) int {
 	lo, hi := 0, len(st.cum)-1
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if st.cum[mid] < u {
+		if st.cum[mid] <= u {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
+	}
+	// Rounding can leave the final cumulative weight marginally below 1;
+	// a u in that gap lands on the last index, which may carry zero
+	// weight. Step back to the nearest quorum with real weight.
+	for lo > 0 && st.weights[lo] == 0 {
+		lo--
 	}
 	return lo
 }

@@ -14,6 +14,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 
 	"bqs/internal/bitset"
@@ -49,6 +50,33 @@ type Enumerable interface {
 	System
 	// Quorums returns the quorum list. Callers must not mutate the sets.
 	Quorums() []bitset.Set
+}
+
+// Enumerator is implemented by implicit systems that can materialize their
+// quorum list on demand for exact analysis (Threshold, Grid, M-Grid, RT).
+type Enumerator interface {
+	System
+	// Enumerate returns the explicit view, failing when the quorum count
+	// exceeds limit (each implementation applies a default cap when
+	// limit ≤ 0).
+	Enumerate(limit int) (*ExplicitSystem, error)
+}
+
+// ErrNotEnumerable is returned by AsEnumerable for systems that can
+// neither list their quorums nor materialize them.
+var ErrNotEnumerable = errors.New("core: system cannot materialize its quorum list")
+
+// AsEnumerable returns a materialized view of sys: the system itself when
+// it already lists its quorums, its Enumerate(limit) when it implements
+// Enumerator, and ErrNotEnumerable otherwise.
+func AsEnumerable(sys System, limit int) (Enumerable, error) {
+	switch s := sys.(type) {
+	case Enumerable:
+		return s, nil
+	case Enumerator:
+		return s.Enumerate(limit)
+	}
+	return nil, fmt.Errorf("core: %s: %w", sys.Name(), ErrNotEnumerable)
 }
 
 // Parameterized exposes the combinatorial parameters the paper tabulates.

@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -47,9 +48,32 @@ func BuildSystem(kind string, b int) (System, error) {
 	case "mpath":
 		d := 2 * (b + 2)
 		return bqs.NewMPath(d, b)
+	case "wheel":
+		// The unbalanced regular system of [NW98]: the hub sits in n−1 of
+		// the n quorums, so the uniform strategy loads it at ≈ 1 while the
+		// LP strategy shifts weight to the rim — the starkest live demo of
+		// the uniform-vs-optimal gap. Regular means b = 0 only.
+		if b != 0 {
+			return nil, fmt.Errorf("wheel is a regular (b=0) system; got -b %d", b)
+		}
+		return bqs.NewWheel(12)
 	default:
 		return nil, fmt.Errorf("unknown system %q", kind)
 	}
+}
+
+// StrategyOption maps the CLI -strategy flag to a cluster option,
+// identically in both binaries. "uniform" returns a nil option — the
+// default uniform survivor selection; "optimal" installs the LP-optimal
+// access strategy (the system must be able to enumerate its quorums).
+func StrategyOption(name string) (bqs.ClusterOption, error) {
+	switch name {
+	case "uniform":
+		return nil, nil
+	case "optimal":
+		return bqs.WithOptimalStrategy(), nil
+	}
+	return nil, fmt.Errorf("unknown strategy %q (want uniform or optimal)", name)
 }
 
 // Workload shapes a mixed ~50/50 read/write run.
@@ -77,14 +101,26 @@ type Counters struct {
 	Elapsed       time.Duration
 }
 
-// Total is every operation issued.
+// Total is every operation that ran to an outcome — the attempted count.
+// It folds failures, no-candidates and violations in, so it must NOT be
+// the throughput headline: a run that mostly times out would still report
+// a high number. Use Succeeded for delivered throughput.
 func (c Counters) Total() int64 {
 	return c.Reads + c.Writes + c.NoCandidates + c.Failures + c.Violations
 }
 
+// Succeeded is every operation that completed its protocol — the
+// throughput headline.
+func (c Counters) Succeeded() int64 { return c.Reads + c.Writes }
+
 // Run drives the workload against the cluster: w.Clients concurrent
 // clients alternating writes and reads (client id + op index parity, so
-// the fleet is always mixed), each operation under its own deadline.
+// the fleet is always mixed), each operation under its own deadline. In
+// duration mode every operation's context additionally derives from a
+// run-wide deadline at start+Duration, so the run actually ends at the
+// boundary instead of letting each client's last operation drift past it;
+// an operation cut off by that run deadline is counted neither as a
+// success nor as a failure — it simply did not fit in the window.
 func Run(cluster *bqs.Cluster, w Workload) Counters {
 	var (
 		wg                       sync.WaitGroup
@@ -93,10 +129,11 @@ func Run(cluster *bqs.Cluster, w Workload) Counters {
 		failures                 atomic.Int64
 	)
 	start := time.Now()
-	var stopAt time.Time
+	runCtx, endRun := context.Background(), context.CancelFunc(func() {})
 	if w.Duration > 0 {
-		stopAt = start.Add(w.Duration)
+		runCtx, endRun = context.WithDeadline(context.Background(), start.Add(w.Duration))
 	}
+	defer endRun()
 	for id := 0; id < w.Clients; id++ {
 		wg.Add(1)
 		go func(id int) {
@@ -104,23 +141,27 @@ func Run(cluster *bqs.Cluster, w Workload) Counters {
 			cl := cluster.NewClient(id)
 			for op := 0; ; op++ {
 				if w.Duration > 0 {
-					if !time.Now().Before(stopAt) {
+					if runCtx.Err() != nil {
 						return
 					}
 				} else if op >= w.Ops {
 					return
 				}
-				opCtx, cancel := context.Background(), context.CancelFunc(func() {})
+				opCtx, cancel := runCtx, context.CancelFunc(func() {})
 				if w.Timeout > 0 {
-					opCtx, cancel = context.WithTimeout(context.Background(), w.Timeout)
+					opCtx, cancel = context.WithTimeout(runCtx, w.Timeout)
 				}
 				if (id+op)%2 == 0 {
-					if err := cl.Write(opCtx, fmt.Sprintf("c%d-op%04d", id, op)); err != nil {
-						failures.Add(1)
-					} else {
-						writes.Add(1)
-					}
+					err := cl.Write(opCtx, fmt.Sprintf("c%d-op%04d", id, op))
 					cancel()
+					switch {
+					case err == nil:
+						writes.Add(1)
+					case runCtx.Err() != nil:
+						return // cut off at the run boundary; not an outcome
+					default:
+						failures.Add(1)
+					}
 					continue
 				}
 				got, err := cl.Read(opCtx)
@@ -128,6 +169,8 @@ func Run(cluster *bqs.Cluster, w Workload) Counters {
 				switch {
 				case errors.Is(err, bqs.ErrNoCandidate):
 					noCandidates.Add(1)
+				case err != nil && runCtx.Err() != nil:
+					return // cut off at the run boundary; not an outcome
 				case err != nil:
 					failures.Add(1)
 				case strings.HasPrefix(got.Value, bqs.FabricatedValue):
@@ -149,21 +192,40 @@ func Run(cluster *bqs.Cluster, w Workload) Counters {
 	}
 }
 
-// Report prints the shared result block — outcome counts, throughput,
-// and the measured busiest-server frequency next to the paper's L(Q)
-// lower bounds — and returns the measured peak load together with the
-// printed Theorem 4.1 bound, so harness-specific checks compare against
-// exactly the number the user saw.
-func Report(cluster *bqs.Cluster, sys System, b int, c Counters) (peak, lower float64) {
+// Summary is the result block Report printed, returned so
+// harness-specific acceptance checks compare against exactly the numbers
+// the user saw.
+type Summary struct {
+	Peak         float64 // measured busiest-server access frequency
+	Lower        float64 // Theorem 4.1 lower bound on L(Q)
+	StrategyLoad float64 // L_w(Q) of the installed strategy (the LP optimum under -strategy optimal); NaN under uniform selection
+}
+
+// Report prints the shared result block: outcome counts, successful
+// throughput (with the attempted rate alongside, so a run that mostly
+// times out cannot masquerade as fast), and the measured busiest-server
+// frequency next to the paper's L(Q) lower bounds — plus, when a
+// strategy-backed picker is installed, the L_w(Q) the strategy actually
+// in use induces, which is what the measurement should converge to.
+func Report(cluster *bqs.Cluster, sys System, b int, c Counters) Summary {
 	fmt.Printf("result: %d reads ok, %d writes ok, %d no-candidate, %d failed, %d VIOLATIONS\n",
 		c.Reads, c.Writes, c.NoCandidates, c.Failures, c.Violations)
-	fmt.Printf("throughput: %d ops in %v = %.0f ops/s\n",
-		c.Total(), c.Elapsed.Round(time.Millisecond), float64(c.Total())/c.Elapsed.Seconds())
-	peak = cluster.PeakLoad()
+	secs := c.Elapsed.Seconds()
+	fmt.Printf("throughput: %d ok ops in %v = %.0f ops/s (%d attempted = %.0f ops/s)\n",
+		c.Succeeded(), c.Elapsed.Round(time.Millisecond), float64(c.Succeeded())/secs,
+		c.Total(), float64(c.Total())/secs)
 	n := sys.UniverseSize()
-	lower = bqs.LoadLowerBound(n, b, sys.MinQuorumSize())
-	fmt.Printf("measured load: busiest server at %.4f of quorum accesses\n", peak)
+	s := Summary{
+		Peak:         cluster.PeakLoad(),
+		Lower:        bqs.LoadLowerBound(n, b, sys.MinQuorumSize()),
+		StrategyLoad: cluster.StrategyLoad(),
+	}
+	fmt.Printf("measured load: busiest server at %.4f of quorum accesses\n", s.Peak)
 	fmt.Printf("paper bounds:  L(Q) ≥ %.4f (Thm 4.1), ≥ %.4f (Cor 4.2)\n",
-		lower, bqs.GlobalLoadLowerBound(n, b))
-	return peak, lower
+		s.Lower, bqs.GlobalLoadLowerBound(n, b))
+	if !math.IsNaN(s.StrategyLoad) {
+		fmt.Printf("strategy:      L_w(Q) = %.4f, measured %+.1f%% from it\n",
+			s.StrategyLoad, 100*(s.Peak/s.StrategyLoad-1))
+	}
+	return s
 }

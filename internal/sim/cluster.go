@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,7 @@ import (
 
 	"bqs/internal/bitset"
 	"bqs/internal/core"
+	"bqs/internal/measures"
 )
 
 // config collects the NewCluster functional options.
@@ -21,15 +23,25 @@ type config struct {
 	latJitter  time.Duration
 	sequential bool
 	transport  func(servers []*Server) Transport
+	strategy   *core.Strategy
+	optimal    bool
 }
+
+// strategyEnumLimit caps how many quorums WithStrategy/WithOptimalStrategy
+// will materialize at construction; past it the LP would dominate startup
+// anyway.
+const strategyEnumLimit = 1 << 17
 
 // Option configures a Cluster at construction time.
 type Option func(*config) error
 
 // WithSeed seeds every source of randomness the cluster derives: the
 // transport's drop/latency rng and each client's quorum-selection rng
-// (client i draws from a stream determined by seed and i). The default
-// seed is 1.
+// (client i draws from a stream determined by seed and i; the same
+// per-client stream drives strategy sampling when WithStrategy or
+// WithOptimalStrategy installs a strategy-backed picker, so strategy runs
+// are reproducible under the same discipline as uniform ones). The
+// default seed is 1.
 func WithSeed(seed int64) Option {
 	return func(c *config) error {
 		c.seed = seed
@@ -83,6 +95,43 @@ func WithTransport(f func(servers []*Server) Transport) Option {
 	}
 }
 
+// WithStrategy drives quorum selection from the given access strategy
+// (Definition 3.8) instead of uniform survivor selection. The strategy's
+// weights must align index-by-index with the system's quorum list, so the
+// system has to list its quorums (core.Enumerable) or materialize them
+// (core.Enumerator); the list is enumerated once at construction and
+// cached in the picker. Under suspicion the strategy is conditioned on
+// the live set: weights renormalize over quorums disjoint from the
+// suspected servers, falling back to uniform among survivors when all
+// surviving weight is zero.
+func WithStrategy(st *core.Strategy) Option {
+	return func(c *config) error {
+		if st == nil {
+			return errors.New("sim: nil strategy")
+		}
+		if c.optimal {
+			return errors.New("sim: WithStrategy conflicts with WithOptimalStrategy")
+		}
+		c.strategy = st
+		return nil
+	}
+}
+
+// WithOptimalStrategy solves the Definition 3.8 load LP (measures.Load)
+// at construction and installs the optimal access strategy, so measured
+// load can converge to L(Q) itself rather than the uniform strategy's
+// load. The system must list (core.Enumerable) or materialize
+// (core.Enumerator) its quorums.
+func WithOptimalStrategy() Option {
+	return func(c *config) error {
+		if c.strategy != nil {
+			return errors.New("sim: WithOptimalStrategy conflicts with WithStrategy")
+		}
+		c.optimal = true
+		return nil
+	}
+}
+
 // WithDeterministic switches the cluster to single-threaded probing:
 // quorum members are contacted sequentially in ascending server order from
 // the calling goroutine instead of in parallel goroutines. With a fixed
@@ -104,6 +153,9 @@ type Cluster struct {
 	servers    []*Server
 	transport  Transport
 	mem        *memTransport // non-nil when the built-in transport is in use
+	picker     core.Picker
+	strategy   *core.Strategy // nil under uniform selection
+	stratLoad  float64        // L_w(Q) of strategy; NaN under uniform selection
 	seed       int64
 	sequential bool
 
@@ -153,8 +205,37 @@ func NewCluster(system core.System, b int, opts ...Option) (*Cluster, error) {
 		c.mem = newMemTransport(servers, cfg.seed, cfg.dropRate, cfg.latBase, cfg.latJitter)
 		c.transport = c.mem
 	}
+	c.picker = core.NewUniformPicker(system)
+	c.stratLoad = math.NaN()
+	if cfg.strategy != nil || cfg.optimal {
+		en, err := core.AsEnumerable(system, strategyEnumLimit)
+		if err != nil {
+			return nil, fmt.Errorf("sim: strategy-backed selection: %w", err)
+		}
+		st := cfg.strategy
+		if cfg.optimal {
+			if _, st, err = measures.Load(en); err != nil {
+				return nil, fmt.Errorf("sim: optimal strategy: %w", err)
+			}
+		}
+		p, err := core.NewStrategyPicker(en, st)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		c.picker, c.strategy, c.stratLoad = p, st, p.InducedLoad()
+	}
 	return c, nil
 }
+
+// Strategy returns the installed access strategy, or nil under uniform
+// selection.
+func (c *Cluster) Strategy() *core.Strategy { return c.strategy }
+
+// StrategyLoad returns L_w(Q), the load induced by the installed strategy
+// — the LP optimum L(Q) under WithOptimalStrategy — or NaN under uniform
+// selection. It is the analytic target the measured PeakLoad converges to
+// under failure-free balanced traffic.
+func (c *Cluster) StrategyLoad() float64 { return c.stratLoad }
 
 // System returns the quorum system; B returns the masking bound; N the
 // number of servers; Transport the installed message layer.
@@ -341,18 +422,20 @@ func (c *Cluster) NewClient(id int) *Client {
 	}
 }
 
-// quorumOrForgive picks a quorum avoiding suspects; when suspicion has
-// grown so large that no quorum survives, it forgives all suspects once
-// and retries — transient message loss must not permanently shrink the
-// live set (crashed servers will simply be re-suspected).
+// quorumOrForgive picks a quorum avoiding suspects — through the
+// cluster's picker, so selection follows the installed access strategy
+// when one is configured; when suspicion has grown so large that no
+// quorum survives, it forgives all suspects once and retries — transient
+// message loss must not permanently shrink the live set (crashed servers
+// will simply be re-suspected).
 func (cl *Client) quorumOrForgive() (bitset.Set, error) {
-	q, err := cl.cluster.system.SelectQuorum(cl.rng, cl.suspected)
+	q, err := cl.cluster.picker.PickQuorum(cl.rng, cl.suspected)
 	if err == nil {
 		return q, nil
 	}
 	if errors.Is(err, core.ErrNoLiveQuorum) && !cl.suspected.Empty() {
 		cl.suspected = bitset.New(cl.cluster.N())
-		return cl.cluster.system.SelectQuorum(cl.rng, cl.suspected)
+		return cl.cluster.picker.PickQuorum(cl.rng, cl.suspected)
 	}
 	return bitset.Set{}, err
 }

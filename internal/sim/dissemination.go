@@ -77,14 +77,17 @@ func (c *Cluster) NewDisseminationClient(id int, auth *Authenticator) *Dissemina
 	}
 }
 
+// quorumOrForgive mirrors Client.quorumOrForgive: selection goes through
+// the cluster's picker (strategy-aware when one is installed), forgiving
+// all suspects once when suspicion exhausts the quorum space.
 func (dc *DisseminationClient) quorumOrForgive() (bitset.Set, error) {
-	q, err := dc.c.system.SelectQuorum(dc.rng, dc.suspected)
+	q, err := dc.c.picker.PickQuorum(dc.rng, dc.suspected)
 	if err == nil {
 		return q, nil
 	}
 	if errors.Is(err, core.ErrNoLiveQuorum) && !dc.suspected.Empty() {
 		dc.suspected = bitset.New(dc.c.N())
-		return dc.c.system.SelectQuorum(dc.rng, dc.suspected)
+		return dc.c.picker.PickQuorum(dc.rng, dc.suspected)
 	}
 	return bitset.Set{}, err
 }

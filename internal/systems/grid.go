@@ -23,6 +23,7 @@ var (
 	_ core.System        = (*Grid)(nil)
 	_ core.Sampler       = (*Grid)(nil)
 	_ core.Parameterized = (*Grid)(nil)
+	_ core.Enumerator    = (*Grid)(nil)
 )
 
 // NewGrid builds the [MR98a] grid over a d×d universe (n = d²) masking b
@@ -160,6 +161,28 @@ func (g *Grid) DeclaredB() int { return g.b }
 // in the same number of quorums by row/column symmetry).
 func (g *Grid) Load() float64 {
 	return float64(g.MinQuorumSize()) / float64(g.UniverseSize())
+}
+
+// Enumerate materializes the d·C(d,2b+1) row-plus-columns quorums for
+// exact analysis (LP load, strategy-backed selection). The quorum count
+// must stay at or below limit (default 100000 when ≤ 0).
+func (g *Grid) Enumerate(limit int) (*core.ExplicitSystem, error) {
+	if limit <= 0 {
+		limit = 100000
+	}
+	need := 2*g.b + 1
+	per, err := combin.Binomial(g.d, need)
+	if err != nil || per > int64(limit) || int64(g.d)*per > int64(limit) {
+		return nil, fmt.Errorf("systems: %s: %d·C(%d,%d) quorums exceed limit %d", g.name, g.d, g.d, need, limit)
+	}
+	quorums := make([]bitset.Set, 0, int64(g.d)*per)
+	for row := 0; row < g.d; row++ {
+		combin.Combinations(g.d, need, func(cols []int) bool {
+			quorums = append(quorums, g.quorum(row, cols))
+			return true
+		})
+	}
+	return core.NewExplicit(g.name, g.UniverseSize(), quorums)
 }
 
 // CrashProbability returns the exact F_p via line-survival analysis: the

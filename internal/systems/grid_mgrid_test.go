@@ -7,23 +7,16 @@ import (
 	"testing"
 
 	"bqs/internal/bitset"
-	"bqs/internal/combin"
 	"bqs/internal/core"
 	"bqs/internal/measures"
 )
 
-// enumerateGrid materializes all Grid quorums for exact cross-checks.
+// enumerateGrid materializes all Grid quorums for exact cross-checks via
+// the production Enumerate method, so every parameter cross-check below
+// also validates the enumeration the strategy-backed picker consumes.
 func enumerateGrid(t *testing.T, g *Grid) *core.ExplicitSystem {
 	t.Helper()
-	d := g.Side()
-	var quorums []bitset.Set
-	for row := 0; row < d; row++ {
-		combin.Combinations(d, 2*g.DeclaredB()+1, func(cols []int) bool {
-			quorums = append(quorums, g.quorum(row, cols))
-			return true
-		})
-	}
-	ex, err := core.NewExplicit(g.Name(), d*d, quorums)
+	ex, err := g.Enumerate(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,24 +153,40 @@ func TestMGridFigure1Instance(t *testing.T) {
 	}
 }
 
-// enumerateMGrid materializes the M-Grid for exact cross-checks.
+// enumerateMGrid materializes the M-Grid for exact cross-checks via the
+// production Enumerate method.
 func enumerateMGrid(t *testing.T, m *MGrid) *core.ExplicitSystem {
 	t.Helper()
-	d, r := m.Side(), m.LinesPerAxis()
-	var quorums []bitset.Set
-	combin.Combinations(d, r, func(rows []int) bool {
-		rowsCp := append([]int(nil), rows...)
-		combin.Combinations(d, r, func(cols []int) bool {
-			quorums = append(quorums, m.quorum(rowsCp, cols))
-			return true
-		})
-		return true
-	})
-	ex, err := core.NewExplicit(m.Name(), d*d, quorums)
+	ex, err := m.Enumerate(0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return ex
+}
+
+// TestEnumerateCountsAndLimit pins the quorum counts of the Enumerate
+// methods and their limit guards.
+func TestEnumerateCountsAndLimit(t *testing.T) {
+	g, err := NewGrid(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex := enumerateGrid(t, g); ex.NumQuorums() != 16 { // d·C(d,2b+1) = 4·4
+		t.Errorf("Grid(4,1) enumerates %d quorums, want 16", ex.NumQuorums())
+	}
+	if _, err := g.Enumerate(10); err == nil {
+		t.Error("Grid Enumerate must respect the limit")
+	}
+	m, err := NewMGrid(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex := enumerateMGrid(t, m); ex.NumQuorums() != 36 { // C(4,2)²
+		t.Errorf("M-Grid(4,1) enumerates %d quorums, want 36", ex.NumQuorums())
+	}
+	if _, err := m.Enumerate(10); err == nil {
+		t.Error("MGrid Enumerate must respect the limit")
+	}
 }
 
 func TestMGridParamsMatchEnumeration(t *testing.T) {

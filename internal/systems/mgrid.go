@@ -27,6 +27,7 @@ var (
 	_ core.Sampler       = (*MGrid)(nil)
 	_ core.Parameterized = (*MGrid)(nil)
 	_ core.Masking       = (*MGrid)(nil)
+	_ core.Enumerator    = (*MGrid)(nil)
 )
 
 // NewMGrid builds M-Grid(b) on a d×d universe. Requires √(b+1) ≤ d and
@@ -161,6 +162,31 @@ func (m *MGrid) DeclaredB() int { return m.b }
 // Load returns the exact load c/n ≈ 2√(b+1)/√n (fair, Proposition 3.9).
 func (m *MGrid) Load() float64 {
 	return float64(m.MinQuorumSize()) / float64(m.UniverseSize())
+}
+
+// Enumerate materializes the C(d,r)² row/column-set quorums for exact
+// analysis (LP load, strategy-backed selection). The quorum count must
+// stay at or below limit (default 100000 when ≤ 0).
+func (m *MGrid) Enumerate(limit int) (*core.ExplicitSystem, error) {
+	if limit <= 0 {
+		limit = 100000
+	}
+	per, err := combin.Binomial(m.d, m.r)
+	if err != nil || per > int64(limit) || per*per > int64(limit) {
+		return nil, fmt.Errorf("systems: %s: C(%d,%d)² quorums exceed limit %d", m.name, m.d, m.r, limit)
+	}
+	lineSets := make([][]int, 0, per)
+	combin.Combinations(m.d, m.r, func(c []int) bool {
+		lineSets = append(lineSets, append([]int(nil), c...))
+		return true
+	})
+	quorums := make([]bitset.Set, 0, per*per)
+	for _, rows := range lineSets {
+		for _, cols := range lineSets {
+			quorums = append(quorums, m.quorum(rows, cols))
+		}
+	}
+	return core.NewExplicit(m.name, m.UniverseSize(), quorums)
 }
 
 // CrashLowerBoundRows is the [KC91, Woo96] bound quoted in Section 5.1:

@@ -28,6 +28,7 @@ var (
 	_ core.Sampler       = (*RT)(nil)
 	_ core.Parameterized = (*RT)(nil)
 	_ core.Masking       = (*RT)(nil)
+	_ core.Enumerator    = (*RT)(nil)
 )
 
 // NewRT builds RT(k, ℓ) of depth h. Requires k > ℓ > k/2 (the paper's

@@ -30,6 +30,7 @@ var (
 	_ core.System        = (*Threshold)(nil)
 	_ core.Sampler       = (*Threshold)(nil)
 	_ core.Parameterized = (*Threshold)(nil)
+	_ core.Enumerator    = (*Threshold)(nil)
 )
 
 // NewThreshold builds the ℓ-of-n system. It requires 0 < ℓ ≤ n and
