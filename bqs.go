@@ -93,6 +93,23 @@ type (
 	// Op identifies a protocol message type.
 	Op = sim.Op
 
+	// FaultEvent is one entry of a fault timeline: at offset At, server
+	// Server switches to Behavior.
+	FaultEvent = sim.FaultEvent
+	// FaultSchedule is a validated, time-sorted fault timeline — the
+	// deterministic core of the churn engine.
+	FaultSchedule = sim.FaultSchedule
+	// ChurnConfig is the seeded stochastic churn model (exponential
+	// up/down alternation per server); its Schedule method pre-generates a
+	// reproducible FaultSchedule.
+	ChurnConfig = sim.ChurnConfig
+	// FaultController replays a FaultSchedule against a Flipper in real
+	// time while a workload runs.
+	FaultController = sim.FaultController
+	// Flipper applies behavior flips to servers: Cluster implements it
+	// in-memory, WireClient over TCP (control frames).
+	Flipper = sim.Flipper
+
 	// WireServer is a TCP daemon hosting a shard of sim servers; see
 	// NewWireServer.
 	WireServer = wire.Server
@@ -358,6 +375,36 @@ func WithOptimalStrategy() ClusterOption { return sim.WithOptimalStrategy() }
 // WithDeterministic probes quorum members sequentially from the calling
 // goroutine, restoring the exactly reproducible single-threaded mode.
 func WithDeterministic() ClusterOption { return sim.WithDeterministic() }
+
+// NewFaultSchedule validates fault events (non-negative offsets and
+// server indices, known behaviors) and returns them as a timeline sorted
+// stably by offset.
+func NewFaultSchedule(events []FaultEvent) (*FaultSchedule, error) {
+	return sim.NewFaultSchedule(events)
+}
+
+// ParseFaultSchedule parses the CLI timeline form
+// "100ms:3:crashed,250ms:0-2:byz-fabricate,600ms:3:correct" —
+// comma-separated at:servers:behavior entries with inclusive server
+// ranges.
+func ParseFaultSchedule(spec string) (*FaultSchedule, error) { return sim.ParseFaultSchedule(spec) }
+
+// ParseChurn parses the stochastic churn spec
+// "mtbf=300ms,mttr=100ms[,down=<behavior>][,servers=lo-hi]" into a
+// ChurnConfig.
+func ParseChurn(spec string) (ChurnConfig, error) { return sim.ParseChurn(spec) }
+
+// ParseBehavior maps a behavior name ("correct", "crashed",
+// "byz-fabricate", "byz-stale", "byz-equivocate" and common aliases) to
+// its Behavior constant.
+func ParseBehavior(s string) (Behavior, error) { return sim.ParseBehavior(s) }
+
+// NewFaultController binds a fault schedule to the Flipper (a Cluster, or
+// a WireClient for remote deployments) that will apply it; run it with
+// FaultController.Run alongside the workload.
+func NewFaultController(f Flipper, s *FaultSchedule) *FaultController {
+	return sim.NewFaultController(f, s)
+}
 
 // NewInMemoryTransport returns the stock lossless zero-latency transport
 // over the given servers, for wrapping in WithTransport factories.

@@ -18,6 +18,15 @@
 // The route table must cover every server of the chosen system's
 // universe; run bqs-client with a -system/-b pair first to learn the
 // universe size it prints.
+//
+// bqs-client is also the remote schedule driver of the churn engine:
+// -fault-schedule replays a deterministic fault timeline and -churn a
+// seeded stochastic one against the live deployment — each flip travels
+// as a wire control frame to the shard hosting the addressed server, so
+// replicas crash, turn Byzantine and recover mid-run exactly as they do
+// in-memory, and -suspicion-ttl controls how fast clients re-admit
+// recovered servers. A flip to an unreachable shard is counted as a miss
+// and the schedule keeps going.
 package main
 
 import (
@@ -48,6 +57,9 @@ func run() error {
 	timeout := flag.Duration("timeout", 2*time.Second, "per-operation deadline (0 = none)")
 	poolSize := flag.Int("pool", 1, "TCP connections per server address")
 	seed := flag.Int64("seed", 1, "random seed for quorum selection")
+	faultSchedule := flag.String("fault-schedule", "", "fault timeline \"100ms:3:crashed,600ms:3:correct\" driven remotely via control frames")
+	churn := flag.String("churn", "", "stochastic churn \"mtbf=300ms,mttr=100ms[,down=behavior][,servers=lo-hi]\" over the -duration horizon, driven remotely")
+	suspicionTTL := flag.Duration("suspicion-ttl", 0, "client suspicion TTL so recovered servers regain traffic (0 = auto: 50ms when churn is active)")
 	flag.Parse()
 
 	sys, err := harness.BuildSystem(*system, *b)
@@ -85,14 +97,28 @@ func run() error {
 		return err
 	}
 
+	schedule, err := harness.BuildSchedule(*faultSchedule, *churn, n, *duration, *seed)
+	if err != nil {
+		return err
+	}
+	ttl := harness.ChurnTTL(schedule, *suspicionTTL)
+
 	shards := make(map[string]bool)
 	for _, addr := range table {
 		shards[addr] = true
 	}
-	w := harness.Workload{Clients: *clients, Ops: *ops, Duration: *duration, Timeout: *timeout}
+	w := harness.Workload{Clients: *clients, Ops: *ops, Duration: *duration, Timeout: *timeout, SuspicionTTL: ttl}
 	fmt.Printf("workload: %s against %d shards (strategy=%s)\n", w.Describe(), len(shards), *strategy)
 
+	// Remote churn: the driver replays the schedule against the
+	// deployment itself — each flip is a control frame to the shard
+	// hosting the server, so the same timeline that drives an in-memory
+	// run drives the live TCP fleet.
+	driver := harness.StartChurn(tr, schedule, ttl)
 	counters := harness.Run(cluster, w)
+	if err := driver.Stop(); err != nil {
+		return err
+	}
 	harness.Report(cluster, sys, *b, counters)
 
 	if counters.Violations > 0 {

@@ -11,6 +11,8 @@
 //	        [-strategy uniform|optimal] [-byzantine 3] [-crashed 2]
 //	        [-clients 8] [-ops 100] [-duration 0] [-drop 0] [-latency 0]
 //	        [-jitter 0] [-timeout 0] [-deterministic] [-seed 1]
+//	        [-fault-schedule SPEC] [-churn SPEC] [-suspicion-ttl 0]
+//	        [-availability SPEC]
 //
 // With -duration the run is time-bounded instead of op-bounded. With
 // -strategy optimal, quorum selection samples the LP-optimal access
@@ -19,6 +21,24 @@
 // lands more than 10% from the LP value. The workload and report come
 // from internal/harness, shared with cmd/bqs-client, so in-memory and TCP
 // clusters are measured comparably.
+//
+// Dynamic faults (the churn engine): -fault-schedule replays a
+// deterministic timeline ("100ms:3:crashed,600ms:3:correct") and -churn
+// generates a seeded stochastic one ("mtbf=300ms,mttr=100ms", requires
+// -duration) — both flip server behaviors WHILE the workload runs, so
+// recovery, flapping and cascades are exercised live; -suspicion-ttl
+// controls how fast clients re-admit recovered servers (0 = auto: 50ms
+// whenever churn is active). A schedule that never leaves Correct keeps
+// the fault-free LP convergence check armed — churn instrumentation must
+// not perturb the measurement.
+//
+// -availability replaces the workload with the Definition 3.10
+// experiment: many seeded epochs each crash servers i.i.d. with
+// probability p and run the protocol; the empirical system-crash rate is
+// compared against CrashProbabilityExact (universes ≤ 24), the Monte
+// Carlo estimate and the Propositions 4.3–4.5 lower bounds, and the run
+// exits non-zero when the measurement lands more than 3 binomial standard
+// deviations from the exact value.
 package main
 
 import (
@@ -27,6 +47,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"strings"
 
 	"bqs"
 	"bqs/internal/harness"
@@ -54,6 +75,10 @@ func run() error {
 	timeout := flag.Duration("timeout", 0, "per-operation deadline (0 = none)")
 	deterministic := flag.Bool("deterministic", false, "probe sequentially for exact reproducibility")
 	seed := flag.Int64("seed", 1, "random seed")
+	faultSchedule := flag.String("fault-schedule", "", "fault timeline \"100ms:3:crashed,600ms:3:correct\" replayed while the workload runs")
+	churn := flag.String("churn", "", "stochastic churn \"mtbf=300ms,mttr=100ms[,down=behavior][,servers=lo-hi]\" over the -duration horizon")
+	suspicionTTL := flag.Duration("suspicion-ttl", 0, "client suspicion TTL so recovered servers regain traffic (0 = auto: 50ms when churn is active)")
+	availability := flag.String("availability", "", "availability experiment \"p=0.1,epochs=2000[,seed=N][,mctrials=N]\": empirical crash rate vs F_p(Q); replaces the workload")
 	flag.Parse()
 
 	sys, err := harness.BuildSystem(*system, *b)
@@ -62,6 +87,22 @@ func run() error {
 	}
 	fmt.Printf("system: %s (n=%d, b=%d, f=%d)\n",
 		sys.Name(), sys.UniverseSize(), *b, bqs.Resilience(sys))
+
+	if *availability != "" {
+		// The availability experiment defines its own workload and fault
+		// model; silently dropping other explicitly-set flags would hand
+		// the user a valid-looking F_p that answers a different question.
+		if conflicts := availabilityFlagConflicts(); len(conflicts) > 0 {
+			return fmt.Errorf("-availability is a standalone experiment (only -system, -b and -seed compose with it); drop -%s", strings.Join(conflicts, ", -"))
+		}
+		return runAvailability(sys, *b, *availability, *seed)
+	}
+
+	schedule, err := harness.BuildSchedule(*faultSchedule, *churn, sys.UniverseSize(), *duration, *seed)
+	if err != nil {
+		return err
+	}
+	ttl := harness.ChurnTTL(schedule, *suspicionTTL)
 
 	opts := []bqs.ClusterOption{bqs.WithSeed(*seed), bqs.WithDropRate(*drop), bqs.WithLatency(*latency, *jitter)}
 	stratOpt, err := harness.StrategyOption(*strategy)
@@ -98,26 +139,36 @@ func run() error {
 	}
 	fmt.Printf("faults: %d byzantine (fabricating), %d crashed\n", *byzantine, *crashed)
 
-	w := harness.Workload{Clients: *clients, Ops: *ops, Duration: *duration, Timeout: *timeout}
+	w := harness.Workload{Clients: *clients, Ops: *ops, Duration: *duration, Timeout: *timeout, SuspicionTTL: ttl}
 	fmt.Printf("workload: %s (strategy=%s, drop=%.3f, latency=%v±%v)\n",
 		w.Describe(), *strategy, *drop, *latency, *jitter)
 
+	// The churn engine runs beside the workload, cancelled at the run
+	// boundary if events remain.
+	driver := harness.StartChurn(cluster, schedule, ttl)
 	counters := harness.Run(cluster, w)
+	if err := driver.Stop(); err != nil {
+		return err
+	}
+
 	sum := harness.Report(cluster, sys, *b, counters)
 	knob := "-ops"
 	if *duration > 0 {
 		knob = "-duration"
 	}
+	faultFree := *crashed == 0 && *drop == 0 && schedule.FaultFree()
 	switch {
-	case !math.IsNaN(sum.StrategyLoad) && *crashed == 0 && *drop == 0:
+	case !math.IsNaN(sum.StrategyLoad) && faultFree:
 		// With the LP strategy installed and no fault-driven re-selection,
 		// the measurement must track the LP value — this is the acceptance
-		// check for the LP-to-live path.
+		// check for the LP-to-live path, and it stays armed under a
+		// fault-free schedule: churn instrumentation alone must not move
+		// the measurement.
 		if dev := sum.Peak/sum.StrategyLoad - 1; math.Abs(dev) > 0.10 {
 			return fmt.Errorf("measured peak load %.4f is %+.1f%% from the LP L(Q) = %.4f (outside 10%%) — increase %s for convergence, or report a strategy bug",
 				sum.Peak, 100*dev, sum.StrategyLoad, knob)
 		}
-	case math.IsNaN(sum.StrategyLoad) && *byzantine <= *b && *crashed == 0 && *drop == 0 && sum.Peak < sum.Lower:
+	case math.IsNaN(sum.StrategyLoad) && *byzantine <= *b && faultFree && sum.Peak < sum.Lower:
 		fmt.Printf("  note: measurement below the lower bound — increase %s for convergence\n", knob)
 	}
 
@@ -126,6 +177,44 @@ func run() error {
 	}
 	if counters.Violations > 0 {
 		fmt.Println("violations are expected: injected Byzantine faults exceed b")
+	}
+	return nil
+}
+
+// availabilityFlagConflicts returns the explicitly-set flags that
+// -availability mode would otherwise silently ignore.
+func availabilityFlagConflicts() []string {
+	allowed := map[string]bool{"system": true, "b": true, "seed": true, "availability": true}
+	var out []string
+	flag.Visit(func(f *flag.Flag) {
+		if !allowed[f.Name] {
+			out = append(out, f.Name)
+		}
+	})
+	return out
+}
+
+// runAvailability is the -availability mode: measure the empirical
+// system-crash rate through the live engine and hold it against the
+// analytic F_p(Q) ladder, failing beyond 3σ of the exact value. The
+// global -seed seeds the experiment unless the spec's seed= overrides it.
+func runAvailability(sys harness.System, b int, spec string, seed int64) error {
+	cfg, err := harness.ParseAvailabilitySpec(spec, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("availability: p=%g over %d epochs (seed %d)\n", cfg.P, cfg.Epochs, cfg.Seed)
+	res, err := harness.RunAvailability(sys, b, cfg)
+	if err != nil {
+		return err
+	}
+	harness.ReportAvailability(res)
+	if res.ExactOK && !res.WithinSigma(3) {
+		return fmt.Errorf("empirical crash rate %.4f outside 3σ of exact F_p = %.4f over %d epochs — availability regression",
+			res.Rate, res.Exact, res.Epochs)
+	}
+	if !res.ExactOK {
+		fmt.Println("  note: universe too large for exact F_p — no 3σ assertion (Monte Carlo shown above)")
 	}
 	return nil
 }

@@ -38,6 +38,16 @@
 //     unreachable servers to Response{OK: false}, so quorum re-selection
 //     masks network failures exactly like crashes. cmd/bqs-server and
 //     cmd/bqs-client run a deployment from the command line.
+//   - A dynamic fault/churn engine that flips server behaviors WHILE a
+//     workload runs: FaultSchedule (deterministic timelines, or the
+//     seeded stochastic ChurnConfig model) replayed by a FaultController
+//     against any Flipper — a Cluster in-memory, or a WireClient sending
+//     control frames to remote shards. Clients rehabilitate suspicion
+//     per-server (aging plus probe-on-forgive), so recovered servers
+//     regain traffic, and the harness availability mode
+//     (bqs-sim -availability) measures the empirical system-crash rate
+//     against the exact F_p(Q) of Definition 3.10 and the
+//     Propositions 4.3-4.5 lower bounds.
 //
 // # Quick start
 //
@@ -54,8 +64,10 @@
 //	err = client.Write(ctx, "hello")
 //	tv, err := client.Read(ctx)
 //
-// See README.md for a fuller tour. The experiment harness that
-// regenerates every table and figure of the paper lives in cmd/bqs-tables
-// and cmd/bqs-figures; see EXPERIMENTS.md for how to run it and compare
+// See README.md for a fuller tour and docs/ARCHITECTURE.md for the layer
+// map (core → systems/measures → sim → wire → harness → cmd, with the
+// Transport and Picker seams). The experiment harness that regenerates
+// every table and figure of the paper lives in cmd/bqs-tables and
+// cmd/bqs-figures; see EXPERIMENTS.md for how to run it and compare
 // measured numbers against the paper's.
 package bqs

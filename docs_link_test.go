@@ -1,0 +1,74 @@
+package bqs_test
+
+// A markdown link checker for the repo's documentation, run as part of
+// the ordinary test suite (and therefore in CI): every relative link in
+// every tracked .md file must resolve to a file that exists, so moving or
+// renaming a document cannot silently strand README, EXPERIMENTS or the
+// architecture notes.
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches [text](target) while ignoring images' leading !; the
+// target is captured up to the closing parenthesis.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func TestMarkdownLinksResolve(t *testing.T) {
+	var docs []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip build output and hidden trees (.git, .github has no md
+			// links to itself worth checking relative anyway — still scan it).
+			if name := d.Name(); name == "bin" || name == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".md") {
+			docs = append(docs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) == 0 {
+		t.Fatal("no markdown files found — checker is looking in the wrong place")
+	}
+	for _, doc := range docs {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"):
+				continue // external: not ours to verify offline
+			case strings.HasPrefix(target, "#"):
+				continue // intra-document anchor
+			}
+			// Strip an anchor suffix from relative file links.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(doc), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s)", doc, m[1], resolved)
+			}
+		}
+	}
+}

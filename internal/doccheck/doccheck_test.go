@@ -1,0 +1,69 @@
+package doccheck
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMissingFindsUndocumentedExports(t *testing.T) {
+	dir := t.TempDir()
+	src := `package sample
+
+// Documented is fine.
+type Documented struct{}
+
+type Undocumented struct{}
+
+// DocumentedFunc is fine.
+func DocumentedFunc() {}
+
+func UndocumentedFunc() {}
+
+func unexported() {}
+
+// Method is fine.
+func (Documented) Method() {}
+
+func (Documented) Bare() {}
+
+// Grouped constants share the group doc.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+const Loner = 3
+
+var (
+	WithDoc = 1 // a trailing comment counts
+	Orphan  = 2
+)
+`
+	if err := os.WriteFile(filepath.Join(dir, "sample.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Missing(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Documented.Bare", "Loner", "Orphan", "Undocumented", "UndocumentedFunc"}
+	if len(got) != len(want) {
+		t.Fatalf("missing = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("missing = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMissingSelf(t *testing.T) {
+	missing, err := Missing(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("doccheck's own exported API is undocumented: %v", missing)
+	}
+}

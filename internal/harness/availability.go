@@ -1,0 +1,217 @@
+package harness
+
+// The availability experiment closes the measurement loop for the paper's
+// second headline quantity. PR 3 made measured load converge to the LP
+// value L(Q); this file does the same for crash probability F_p(Q)
+// (Definition 3.10): many seeded epochs each draw an i.i.d. crash pattern
+// at probability p, a client runs the real protocol against it, and an
+// epoch counts as a system crash exactly when the engine reports
+// ErrNoLiveQuorum — every quorum intersects a set of servers the client
+// probed and found dead. The empirical rate is then laid next to the
+// analytic ladder: CrashProbabilityExact (universes ≤ 24), the Monte
+// Carlo estimate, and the lower bounds of Propositions 4.3–4.5.
+//
+// The detection is exact, not approximate: client suspicion only ever
+// contains genuinely crashed servers (the epoch network is lossless), the
+// picker declares ErrNoLiveQuorum precisely when every quorum intersects
+// the suspects, and probe-on-forgive re-admits any suspect that answers —
+// so an epoch crashes if and only if its sampled pattern kills every
+// quorum, the same event Definition 3.10 integrates over. That is what
+// makes the binomial 3σ acceptance check against the exact F_p sound.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"bqs"
+)
+
+// AvailabilityConfig shapes an availability experiment.
+type AvailabilityConfig struct {
+	// P is the i.i.d. per-server crash probability of Definition 3.10.
+	P float64
+	// Epochs is how many crash patterns are drawn and driven.
+	Epochs int
+	// Seed makes the whole experiment reproducible (pattern draws, quorum
+	// selection, and the Monte Carlo companion estimate).
+	Seed int64
+	// MCTrials sizes the CrashProbabilityMC companion (default 100000).
+	MCTrials int
+}
+
+// ParseAvailabilitySpec parses the CLI form "p=0.1,epochs=2000" with
+// optional seed=N and mctrials=N fields. defaultSeed seeds the experiment
+// when the spec has no seed= field, so the binaries' global -seed flag
+// keeps meaning what it means everywhere else.
+func ParseAvailabilitySpec(spec string, defaultSeed int64) (AvailabilityConfig, error) {
+	cfg := AvailabilityConfig{Epochs: 2000, Seed: defaultSeed, MCTrials: 100000}
+	seenP := false
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, value, ok := strings.Cut(field, "=")
+		if !ok {
+			return AvailabilityConfig{}, fmt.Errorf("availability field %q is not key=value", field)
+		}
+		value = strings.TrimSpace(value)
+		var err error
+		switch strings.TrimSpace(key) {
+		case "p":
+			cfg.P, err = strconv.ParseFloat(value, 64)
+			seenP = true
+		case "epochs":
+			cfg.Epochs, err = strconv.Atoi(value)
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(value, 10, 64)
+		case "mctrials":
+			cfg.MCTrials, err = strconv.Atoi(value)
+		default:
+			return AvailabilityConfig{}, fmt.Errorf("unknown availability key %q (want p, epochs, seed, mctrials)", key)
+		}
+		if err != nil {
+			return AvailabilityConfig{}, fmt.Errorf("availability field %q: %w", field, err)
+		}
+	}
+	// The inverted comparison also rejects NaN, which `< 0 || > 1` lets
+	// through.
+	if !seenP || !(cfg.P >= 0 && cfg.P <= 1) {
+		return AvailabilityConfig{}, errors.New("availability spec needs p=<probability in [0,1]>")
+	}
+	if cfg.Epochs <= 0 {
+		return AvailabilityConfig{}, errors.New("availability spec needs epochs > 0")
+	}
+	return cfg, nil
+}
+
+// AvailabilityResult is the outcome of an availability experiment: the
+// measured system-crash rate with its analytic companions.
+type AvailabilityResult struct {
+	Epochs  int     // epochs driven
+	Crashes int     // epochs the engine reported ErrNoLiveQuorum
+	Rate    float64 // Crashes/Epochs — the empirical F_p(Q)
+	StdErr  float64 // binomial standard error of Rate
+
+	Exact   float64 // CrashProbabilityExact, when the universe allows it
+	ExactOK bool    // whether Exact is populated (n ≤ 24 and enumerable)
+
+	MC   bqs.MCResult // Monte Carlo companion estimate
+	MCOK bool
+
+	LowerMT      float64 // Proposition 4.3: F_p ≥ p^MT
+	LowerMasking float64 // Proposition 4.4: F_p ≥ p^(c−2b)
+	LowerB       float64 // Proposition 4.5: F_p ≥ p^(b+1), when it applies
+	Prop45       bool    // whether the Prop. 4.5 precondition holds
+}
+
+// WithinSigma reports whether the empirical rate lands within k binomial
+// standard deviations of the exact F_p — the acceptance criterion the
+// availability smoke test asserts with k = 3. It is false when no exact
+// value is available.
+func (r AvailabilityResult) WithinSigma(k float64) bool {
+	if !r.ExactOK {
+		return false
+	}
+	sigma := math.Sqrt(r.Exact * (1 - r.Exact) / float64(r.Epochs))
+	return math.Abs(r.Rate-r.Exact) <= k*sigma
+}
+
+// availabilityEnumLimit caps quorum materialization for the exact F_p
+// companion; small universes (≤ 24 servers) stay far under it.
+const availabilityEnumLimit = 1 << 17
+
+// RunAvailability drives the availability experiment against the real
+// engine: one deterministic in-memory cluster, cfg.Epochs seeded epochs,
+// each resetting every server to Correct, crashing each independently
+// with probability cfg.P, and running one full write (both protocol
+// phases) with a fresh client. Epochs whose write fails with
+// ErrNoLiveQuorum are the system-crash count; any other failure is a bug
+// and aborts the experiment.
+func RunAvailability(sys System, b int, cfg AvailabilityConfig) (AvailabilityResult, error) {
+	n := sys.UniverseSize()
+	cluster, err := bqs.NewCluster(sys, b, bqs.WithSeed(cfg.Seed), bqs.WithDeterministic())
+	if err != nil {
+		return AvailabilityResult{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := AvailabilityResult{Epochs: cfg.Epochs}
+	ctx := context.Background()
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for i := 0; i < n; i++ {
+			behavior := bqs.Correct
+			if rng.Float64() < cfg.P {
+				behavior = bqs.Crashed
+			}
+			cluster.Server(i).SetBehavior(behavior)
+		}
+		cl := cluster.NewClient(epoch)
+		// Suspicion grows by at least one genuinely dead server per failed
+		// attempt, so n+2 retries always suffice per phase; the margin keeps
+		// the experiment honest rather than masking protocol regressions.
+		cl.MaxRetries = 2*n + 8
+		err := cl.Write(ctx, fmt.Sprintf("epoch-%d", epoch))
+		switch {
+		case err == nil:
+		case errors.Is(err, bqs.ErrNoLiveQuorum):
+			res.Crashes++
+		default:
+			return res, fmt.Errorf("availability epoch %d: unexpected failure: %w", epoch, err)
+		}
+	}
+	res.Rate = float64(res.Crashes) / float64(res.Epochs)
+	res.StdErr = math.Sqrt(res.Rate * (1 - res.Rate) / float64(res.Epochs))
+
+	if en, err := bqs.AsEnumerable(sys, availabilityEnumLimit); err == nil {
+		if exact, err := bqs.CrashProbabilityExact(en, cfg.P); err == nil {
+			res.Exact, res.ExactOK = exact, true
+		}
+	}
+	mcTrials := cfg.MCTrials
+	if mcTrials <= 0 {
+		mcTrials = 100000
+	}
+	if mc, err := bqs.CrashProbabilityMC(sys, cfg.P, mcTrials, rand.New(rand.NewSource(cfg.Seed+1))); err == nil {
+		res.MC, res.MCOK = mc, true
+	}
+	res.LowerMT = bqs.CrashLowerBoundMT(sys.MinTransversal(), cfg.P)
+	res.LowerMasking = bqs.CrashLowerBoundMasking(sys.MinQuorumSize(), b, cfg.P)
+	res.Prop45 = bqs.Prop45Applies(sys)
+	if res.Prop45 {
+		res.LowerB = bqs.CrashLowerBoundB(b, cfg.P)
+	}
+	return res, nil
+}
+
+// ReportAvailability prints the shared availability result block: the
+// empirical system-crash rate next to the analytic F_p ladder, and — when
+// the exact value exists — the distance in binomial standard deviations
+// the 3σ acceptance check is applied to.
+func ReportAvailability(res AvailabilityResult) {
+	fmt.Printf("availability: %d/%d epochs crashed — empirical F_p = %.4f (±%.4f binomial SE)\n",
+		res.Crashes, res.Epochs, res.Rate, res.StdErr)
+	if res.ExactOK {
+		sigma := math.Sqrt(res.Exact * (1 - res.Exact) / float64(res.Epochs))
+		dist := math.Inf(1)
+		if sigma > 0 {
+			dist = math.Abs(res.Rate-res.Exact) / sigma
+		} else if res.Rate == res.Exact {
+			dist = 0
+		}
+		fmt.Printf("analytic:     F_p(Q) = %.4f exact (Definition 3.10), measured %.2fσ away\n", res.Exact, dist)
+	}
+	if res.MCOK {
+		fmt.Printf("monte carlo:  F_p ≈ %.4f ± %.4f (%d trials)\n", res.MC.Estimate, res.MC.StdErr, res.MC.Trials)
+	}
+	fmt.Printf("lower bounds: F_p ≥ %.2e (Prop 4.3, p^MT)", res.LowerMT)
+	fmt.Printf(", ≥ %.2e (Prop 4.4, p^(c−2b))", res.LowerMasking)
+	if res.Prop45 {
+		fmt.Printf(", ≥ %.2e (Prop 4.5, p^(b+1))", res.LowerB)
+	}
+	fmt.Println()
+}

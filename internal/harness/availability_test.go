@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseAvailabilitySpec(t *testing.T) {
+	cfg, err := ParseAvailabilitySpec("p=0.1,epochs=500,seed=7,mctrials=1000", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.P != 0.1 || cfg.Epochs != 500 || cfg.Seed != 7 || cfg.MCTrials != 1000 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if _, err := ParseAvailabilitySpec("epochs=100", 1); err == nil {
+		t.Fatal("spec without p accepted")
+	}
+	if _, err := ParseAvailabilitySpec("p=1.5", 1); err == nil {
+		t.Fatal("p outside [0,1] accepted")
+	}
+	if _, err := ParseAvailabilitySpec("p=0.1,epochs=0", 1); err == nil {
+		t.Fatal("zero epochs accepted")
+	}
+	if _, err := ParseAvailabilitySpec("p=0.1,bogus=1", 1); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+	if _, err := ParseAvailabilitySpec("p=NaN", 1); err == nil {
+		t.Fatal("p=NaN accepted")
+	}
+	cfg, err = ParseAvailabilitySpec("p=0.25", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Epochs != 2000 || cfg.Seed != 42 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}
+
+// TestAvailabilityMatchesExactFp is the acceptance experiment for the
+// availability loop: on M-Grid(4,1) at p = 0.1, the empirical system-crash
+// rate measured by driving the real protocol through seeded crash epochs
+// must land within 3 binomial standard deviations of the exact F_p(Q) of
+// Definition 3.10 — the same assertion the CI smoke step makes through
+// bqs-sim -availability.
+func TestAvailabilityMatchesExactFp(t *testing.T) {
+	sys, err := BuildSystem("mgrid", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := AvailabilityConfig{P: 0.1, Epochs: 2000, Seed: 1, MCTrials: 20000}
+	res, err := RunAvailability(sys, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ExactOK {
+		t.Fatal("no exact F_p for a 16-server universe")
+	}
+	sigma := math.Sqrt(res.Exact * (1 - res.Exact) / float64(res.Epochs))
+	t.Logf("empirical %.4f vs exact %.4f (σ = %.4f, %.2fσ away; MC %.4f)",
+		res.Rate, res.Exact, sigma, math.Abs(res.Rate-res.Exact)/sigma, res.MC.Estimate)
+	if !res.WithinSigma(3) {
+		t.Fatalf("empirical crash rate %.4f outside 3σ of exact F_p = %.4f (σ = %.4f)",
+			res.Rate, res.Exact, sigma)
+	}
+	// The lower-bound ladder must hold for the exact value too.
+	if res.Exact < res.LowerMT || res.Exact < res.LowerMasking {
+		t.Fatalf("exact F_p = %.4g below a paper lower bound (MT %.4g, masking %.4g)",
+			res.Exact, res.LowerMT, res.LowerMasking)
+	}
+	if res.Prop45 && res.Exact < res.LowerB {
+		t.Fatalf("exact F_p = %.4g below Prop 4.5 bound %.4g", res.Exact, res.LowerB)
+	}
+}
+
+// TestAvailabilityReproducible pins that the experiment is a pure function
+// of its seed: same seed, same crash count; different seed, (almost
+// surely) a different epoch trace but a statistically compatible rate.
+func TestAvailabilityReproducible(t *testing.T) {
+	sys, err := BuildSystem("mgrid", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := AvailabilityConfig{P: 0.3, Epochs: 300, Seed: 5, MCTrials: 1000}
+	a, err := RunAvailability(sys, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunAvailability(sys, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Crashes != b.Crashes {
+		t.Fatalf("same seed, different crash counts: %d vs %d", a.Crashes, b.Crashes)
+	}
+	if a.Crashes == 0 {
+		t.Fatalf("p=0.3 on MGrid(4,1) produced no crashed epochs in %d — detection broken?", cfg.Epochs)
+	}
+	// Sanity: at p = 0 the system never crashes; at p = 1 it always does.
+	zero, err := RunAvailability(sys, 1, AvailabilityConfig{P: 0, Epochs: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Crashes != 0 {
+		t.Fatalf("p=0 crashed %d epochs", zero.Crashes)
+	}
+	one, err := RunAvailability(sys, 1, AvailabilityConfig{P: 1, Epochs: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Crashes != 20 {
+		t.Fatalf("p=1 crashed only %d/20 epochs", one.Crashes)
+	}
+}

@@ -76,12 +76,124 @@ func StrategyOption(name string) (bqs.ClusterOption, error) {
 	return nil, fmt.Errorf("unknown strategy %q (want uniform or optimal)", name)
 }
 
+// BuildSchedule merges the CLI's deterministic -fault-schedule timeline
+// with its stochastic -churn model (which needs the -duration horizon to
+// know how much timeline to generate) into one validated schedule bounded
+// by the n-server universe, identically in both binaries. It returns nil
+// when neither spec is given. For a churn spec it prints the model's
+// steady-state down fraction — the p to hold the run against when
+// comparing with the analytic F_p(Q).
+func BuildSchedule(scheduleSpec, churnSpec string, n int, horizon time.Duration, seed int64) (*bqs.FaultSchedule, error) {
+	var events []bqs.FaultEvent
+	if scheduleSpec != "" {
+		s, err := bqs.ParseFaultSchedule(scheduleSpec)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, s.Events()...)
+	}
+	if churnSpec != "" {
+		if horizon <= 0 {
+			return nil, errors.New("-churn needs -duration for its horizon")
+		}
+		cc, err := bqs.ParseChurn(churnSpec)
+		if err != nil {
+			return nil, err
+		}
+		s, err := cc.Schedule(n, horizon, seed)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("churn: stochastic model down %.1f%% of the time in steady state (compare F_p at p=%.3f)\n",
+			100*cc.DownFraction(), cc.DownFraction())
+		events = append(events, s.Events()...)
+	}
+	if events == nil {
+		return nil, nil
+	}
+	s, err := bqs.NewFaultSchedule(events)
+	if err != nil {
+		return nil, err
+	}
+	if max := s.MaxServer(); max >= n {
+		return nil, fmt.Errorf("fault schedule touches server %d outside the %d-server universe", max, n)
+	}
+	return s, nil
+}
+
+// DefaultChurnSuspicionTTL is the suspicion TTL both binaries hand their
+// clients when churn is active and the user did not set -suspicion-ttl:
+// short enough that recovered servers regain traffic within a typical
+// run, long enough that a still-dead server is not hammered with
+// optimistic re-probes.
+const DefaultChurnSuspicionTTL = 50 * time.Millisecond
+
+// ChurnTTL resolves the -suspicion-ttl flag against the schedule,
+// identically in both binaries: an explicit user value wins, otherwise
+// the default kicks in exactly when there is churn for it to matter.
+func ChurnTTL(s *bqs.FaultSchedule, userTTL time.Duration) time.Duration {
+	if userTTL == 0 && s.Len() > 0 {
+		return DefaultChurnSuspicionTTL
+	}
+	return userTTL
+}
+
+// ChurnDriver runs a FaultController beside a workload, identically in
+// both binaries: StartChurn launches the controller goroutine, Stop
+// cancels whatever timeline remains at the run boundary, waits it out,
+// and prints the applied/missed summary.
+type ChurnDriver struct {
+	fc     *bqs.FaultController
+	cancel context.CancelFunc
+	done   chan error
+}
+
+// StartChurn prints the schedule banner and starts replaying it against
+// the Flipper (a Cluster in bqs-sim, the wire transport in bqs-client).
+// With no churn configured (a nil or empty schedule) it returns a nil
+// driver, whose Stop is a no-op — call sites need no churn-or-not
+// branching.
+func StartChurn(f bqs.Flipper, s *bqs.FaultSchedule, ttl time.Duration) *ChurnDriver {
+	if s.Len() == 0 {
+		return nil
+	}
+	fmt.Printf("churn: driving %d flips over %v (suspicion-ttl %v)\n", s.Len(), s.Horizon(), ttl)
+	ctx, cancel := context.WithCancel(context.Background())
+	d := &ChurnDriver{fc: bqs.NewFaultController(f, s), cancel: cancel, done: make(chan error, 1)}
+	go func() { d.done <- d.fc.Run(ctx) }()
+	return d
+}
+
+// Stop ends the driver at the run boundary and reports what it applied;
+// on a nil driver (no churn) it is a no-op. The error is the controller's
+// own failure, if any — cancellation at the boundary is the normal way a
+// schedule outliving the workload ends and is not an error.
+func (d *ChurnDriver) Stop() error {
+	if d == nil {
+		return nil
+	}
+	d.cancel()
+	err := <-d.done
+	fmt.Printf("churn: %d flips applied, %d missed\n", d.fc.Flips(), d.fc.Misses())
+	if ferr := d.fc.FirstErr(); ferr != nil {
+		fmt.Printf("churn: first miss: %v\n", ferr)
+	}
+	if err != nil && !errors.Is(err, context.Canceled) {
+		return fmt.Errorf("fault controller: %w", err)
+	}
+	return nil
+}
+
 // Workload shapes a mixed ~50/50 read/write run.
 type Workload struct {
 	Clients  int
 	Ops      int           // per client; ignored when Duration > 0
 	Duration time.Duration // > 0: time-bounded run instead of op-bounded
 	Timeout  time.Duration // per-operation deadline; 0 = none
+	// SuspicionTTL is handed to every client (Client.SuspicionTTL): under
+	// churn it is what lets recovered servers regain traffic instead of
+	// staying suspected forever. Zero keeps the default (no aging).
+	SuspicionTTL time.Duration
 }
 
 // Describe returns the one-line workload summary both binaries print.
@@ -139,6 +251,7 @@ func Run(cluster *bqs.Cluster, w Workload) Counters {
 		go func(id int) {
 			defer wg.Done()
 			cl := cluster.NewClient(id)
+			cl.SuspicionTTL = w.SuspicionTTL
 			for op := 0; ; op++ {
 				if w.Duration > 0 {
 					if runCtx.Err() != nil {

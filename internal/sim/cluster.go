@@ -237,11 +237,16 @@ func (c *Cluster) Strategy() *core.Strategy { return c.strategy }
 // under failure-free balanced traffic.
 func (c *Cluster) StrategyLoad() float64 { return c.stratLoad }
 
-// System returns the quorum system; B returns the masking bound; N the
-// number of servers; Transport the installed message layer.
-func (c *Cluster) System() core.System  { return c.system }
-func (c *Cluster) B() int               { return c.b }
-func (c *Cluster) N() int               { return len(c.servers) }
+// System returns the quorum system the cluster fronts.
+func (c *Cluster) System() core.System { return c.system }
+
+// B returns the masking bound b the protocol defends (Definition 3.5).
+func (c *Cluster) B() int { return c.b }
+
+// N returns the number of servers (the universe size of Definition 3.1).
+func (c *Cluster) N() int { return len(c.servers) }
+
+// Transport returns the installed message layer.
 func (c *Cluster) Transport() Transport { return c.transport }
 
 // Server returns server i (for fault injection and assertions).
@@ -395,10 +400,17 @@ type Client struct {
 	cluster *Cluster
 	// MaxRetries bounds quorum re-selection on unresponsiveness.
 	MaxRetries int
+	// SuspicionTTL ages the client's failure detector: a server suspected
+	// longer than this is optimistically forgiven at the next quorum
+	// selection (one failed probe re-suspects it if it is still dead).
+	// Zero — the default — disables aging: suspicion then clears only
+	// through probe-on-forgive when it exhausts the quorum space. Set it
+	// for churn workloads, where servers recover and must regain traffic.
+	SuspicionTTL time.Duration
 
 	mu        sync.Mutex
 	rng       *rand.Rand
-	suspected bitset.Set // servers observed unresponsive
+	suspected *suspicion // servers observed unresponsive, with ages
 }
 
 // Protocol errors.
@@ -418,26 +430,21 @@ func (c *Cluster) NewClient(id int) *Client {
 		cluster:    c,
 		MaxRetries: 32,
 		rng:        c.clientRNG(id),
-		suspected:  bitset.New(c.N()),
+		suspected:  newSuspicion(c.N()),
 	}
 }
 
 // quorumOrForgive picks a quorum avoiding suspects — through the
 // cluster's picker, so selection follows the installed access strategy
-// when one is configured; when suspicion has grown so large that no
-// quorum survives, it forgives all suspects once and retries — transient
-// message loss must not permanently shrink the live set (crashed servers
-// will simply be re-suspected).
-func (cl *Client) quorumOrForgive() (bitset.Set, error) {
-	q, err := cl.cluster.picker.PickQuorum(cl.rng, cl.suspected)
-	if err == nil {
-		return q, nil
-	}
-	if errors.Is(err, core.ErrNoLiveQuorum) && !cl.suspected.Empty() {
-		cl.suspected = bitset.New(cl.cluster.N())
-		return cl.cluster.picker.PickQuorum(cl.rng, cl.suspected)
-	}
-	return bitset.Set{}, err
+// when one is configured. Rehabilitation is per-server (see suspicion):
+// suspects older than SuspicionTTL are optimistically forgiven, and when
+// suspicion exhausts the quorum space each suspect is probed once and
+// only the responders readmitted — a genuinely dead server stays
+// suspected, and if no suspect responds the error wraps ErrNoLiveQuorum:
+// the system has crashed (Definition 3.10) as far as this client can see.
+func (cl *Client) quorumOrForgive(ctx context.Context) (bitset.Set, error) {
+	cl.suspected.ttl = cl.SuspicionTTL
+	return cl.cluster.pickQuorum(ctx, cl.rng, cl.suspected, cl.id)
 }
 
 // Write performs the [MR98a] write: obtain a timestamp greater than any in
@@ -455,7 +462,7 @@ func (cl *Client) Write(ctx context.Context, value string) error {
 	// Phase 2: push to every member of a quorum; on unresponsive members,
 	// suspect them and retry with a fresh quorum.
 	for attempt := 0; attempt < cl.MaxRetries; attempt++ {
-		q, err := cl.quorumOrForgive()
+		q, err := cl.quorumOrForgive(ctx)
 		if err != nil {
 			return fmt.Errorf("sim: write: %w", err)
 		}
@@ -466,7 +473,7 @@ func (cl *Client) Write(ctx context.Context, value string) error {
 		ok := true
 		for id, resp := range replies {
 			if !resp.OK {
-				cl.suspected.Add(id)
+				cl.suspected.suspect(id)
 				ok = false
 			}
 		}
@@ -483,7 +490,7 @@ func (cl *Client) Write(ctx context.Context, value string) error {
 // it as the paper's protocol does).
 func (cl *Client) maxTimestamp(ctx context.Context) (Timestamp, error) {
 	for attempt := 0; attempt < cl.MaxRetries; attempt++ {
-		q, err := cl.quorumOrForgive()
+		q, err := cl.quorumOrForgive(ctx)
 		if err != nil {
 			return Timestamp{}, err
 		}
@@ -498,7 +505,7 @@ func (cl *Client) maxTimestamp(ctx context.Context) (Timestamp, error) {
 		complete := true
 		for id, resp := range replies {
 			if !resp.OK {
-				cl.suspected.Add(id)
+				cl.suspected.suspect(id)
 				complete = false
 				continue
 			}
@@ -538,7 +545,7 @@ func (cl *Client) Read(ctx context.Context) (TaggedValue, error) {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	for attempt := 0; attempt < cl.MaxRetries; attempt++ {
-		q, err := cl.quorumOrForgive()
+		q, err := cl.quorumOrForgive(ctx)
 		if err != nil {
 			return TaggedValue{}, fmt.Errorf("sim: read: %w", err)
 		}
@@ -550,7 +557,7 @@ func (cl *Client) Read(ctx context.Context) (TaggedValue, error) {
 		complete := true
 		for id, resp := range replies {
 			if !resp.OK {
-				cl.suspected.Add(id)
+				cl.suspected.suspect(id)
 				complete = false
 				continue
 			}

@@ -2,13 +2,12 @@ package sim
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"bqs/internal/bitset"
-	"bqs/internal/core"
 )
 
 // This file implements the OTHER quorum variety of [MR98a] that the paper
@@ -61,10 +60,14 @@ type DisseminationClient struct {
 	auth *Authenticator
 	// MaxRetries bounds quorum re-selection on unresponsiveness.
 	MaxRetries int
+	// SuspicionTTL ages suspicion exactly as Client.SuspicionTTL does:
+	// zero disables aging, a positive value lets recovered servers regain
+	// traffic after at most that long.
+	SuspicionTTL time.Duration
 
 	mu        sync.Mutex
 	rng       *rand.Rand
-	suspected bitset.Set
+	suspected *suspicion
 }
 
 // NewDisseminationClient attaches a dissemination-protocol client.
@@ -73,23 +76,18 @@ func (c *Cluster) NewDisseminationClient(id int, auth *Authenticator) *Dissemina
 		id: id, c: c, auth: auth,
 		MaxRetries: 32,
 		rng:        c.clientRNG(id),
-		suspected:  bitset.New(c.N()),
+		suspected:  newSuspicion(c.N()),
 	}
 }
 
 // quorumOrForgive mirrors Client.quorumOrForgive: selection goes through
-// the cluster's picker (strategy-aware when one is installed), forgiving
-// all suspects once when suspicion exhausts the quorum space.
-func (dc *DisseminationClient) quorumOrForgive() (bitset.Set, error) {
-	q, err := dc.c.picker.PickQuorum(dc.rng, dc.suspected)
-	if err == nil {
-		return q, nil
-	}
-	if errors.Is(err, core.ErrNoLiveQuorum) && !dc.suspected.Empty() {
-		dc.suspected = bitset.New(dc.c.N())
-		return dc.c.picker.PickQuorum(dc.rng, dc.suspected)
-	}
-	return bitset.Set{}, err
+// the cluster's picker (strategy-aware when one is installed), with
+// per-server rehabilitation — TTL aging plus probe-on-forgive when
+// suspicion exhausts the quorum space; see suspicion and
+// Cluster.pickQuorum for the full contract.
+func (dc *DisseminationClient) quorumOrForgive(ctx context.Context) (bitset.Set, error) {
+	dc.suspected.ttl = dc.SuspicionTTL
+	return dc.c.pickQuorum(ctx, dc.rng, dc.suspected, dc.id)
 }
 
 // Write signs (value, ts) and stores it at every member of a quorum. The
@@ -105,7 +103,7 @@ func (dc *DisseminationClient) Write(ctx context.Context, value string) error {
 	tv := TaggedValue{Value: value, TS: Timestamp{Seq: maxTS.Seq + 1, Writer: dc.id}}
 	dc.auth.Sign(tv)
 	for attempt := 0; attempt < dc.MaxRetries; attempt++ {
-		q, err := dc.quorumOrForgive()
+		q, err := dc.quorumOrForgive(ctx)
 		if err != nil {
 			return fmt.Errorf("sim: dissemination write: %w", err)
 		}
@@ -116,7 +114,7 @@ func (dc *DisseminationClient) Write(ctx context.Context, value string) error {
 		ok := true
 		for id, resp := range replies {
 			if !resp.OK {
-				dc.suspected.Add(id)
+				dc.suspected.suspect(id)
 				ok = false
 			}
 		}
@@ -129,7 +127,7 @@ func (dc *DisseminationClient) Write(ctx context.Context, value string) error {
 
 func (dc *DisseminationClient) maxVerifiedTimestamp(ctx context.Context) (Timestamp, error) {
 	for attempt := 0; attempt < dc.MaxRetries; attempt++ {
-		q, err := dc.quorumOrForgive()
+		q, err := dc.quorumOrForgive(ctx)
 		if err != nil {
 			return Timestamp{}, err
 		}
@@ -141,7 +139,7 @@ func (dc *DisseminationClient) maxVerifiedTimestamp(ctx context.Context) (Timest
 		complete := true
 		for id, resp := range replies {
 			if !resp.OK {
-				dc.suspected.Add(id)
+				dc.suspected.suspect(id)
 				complete = false
 				continue
 			}
@@ -163,7 +161,7 @@ func (dc *DisseminationClient) Read(ctx context.Context) (TaggedValue, error) {
 	dc.mu.Lock()
 	defer dc.mu.Unlock()
 	for attempt := 0; attempt < dc.MaxRetries; attempt++ {
-		q, err := dc.quorumOrForgive()
+		q, err := dc.quorumOrForgive(ctx)
 		if err != nil {
 			return TaggedValue{}, fmt.Errorf("sim: dissemination read: %w", err)
 		}
@@ -176,7 +174,7 @@ func (dc *DisseminationClient) Read(ctx context.Context) (TaggedValue, error) {
 		complete := true
 		for id, resp := range replies {
 			if !resp.OK {
-				dc.suspected.Add(id)
+				dc.suspected.suspect(id)
 				complete = false
 				continue
 			}

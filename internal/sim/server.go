@@ -21,6 +21,7 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 )
 
@@ -83,9 +84,36 @@ func (b Behavior) String() string {
 }
 
 // IsByzantine reports whether the behavior is adversarial (responsive but
-// lying). Crashed is benign per the paper's hybrid fault model.
+// lying). Crashed is benign per the paper's hybrid fault model: the b of
+// Definition 3.5 counts only arbitrary faults, while crashes are the
+// failures availability (Definition 3.10) is measured against.
 func (b Behavior) IsByzantine() bool {
 	return b == ByzantineFabricate || b == ByzantineStale || b == ByzantineEquivocate
+}
+
+// KnownBehavior reports whether b is one of the defined fault modes —
+// the validity check fault schedules and the wire control frame apply
+// before flipping a server.
+func KnownBehavior(b Behavior) bool {
+	return b >= Correct && b <= ByzantineEquivocate
+}
+
+// ParseBehavior maps a behavior name (as printed by Behavior.String, plus
+// common aliases) to its constant, for CLI fault-schedule and churn specs.
+func ParseBehavior(s string) (Behavior, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "correct", "ok", "recover":
+		return Correct, nil
+	case "crashed", "crash", "down":
+		return Crashed, nil
+	case "byz-fabricate", "fabricate", "byzantine":
+		return ByzantineFabricate, nil
+	case "byz-stale", "stale":
+		return ByzantineStale, nil
+	case "byz-equivocate", "equivocate":
+		return ByzantineEquivocate, nil
+	}
+	return 0, fmt.Errorf("sim: unknown behavior %q (want correct, crashed, byz-fabricate, byz-stale or byz-equivocate)", s)
 }
 
 // FabricatedValue is what fabricating servers return; tests assert reads

@@ -99,7 +99,7 @@ func TestStrategySelectionRenormalizesUnderSuspicion(t *testing.T) {
 			t.Fatalf("write %d: %v", i, err)
 		}
 	}
-	if !cl.suspected.Contains(dead) {
+	if !cl.suspected.contains(dead) {
 		t.Skipf("client never touched server %d during warm-up (strategy avoids it)", dead)
 	}
 

@@ -136,6 +136,38 @@ func (c *Client) Invoke(ctx context.Context, server int, req sim.Request) (sim.R
 	return p.pick().roundTrip(ctx, uint32(server), req)
 }
 
+// Flip implements sim.Flipper over the network: it sends a control frame
+// to the shard hosting the given server, asking it to switch that replica
+// to behavior. This is the remote half of the churn engine — a
+// sim.FaultController driving a wire.Client replays its fault schedule
+// against a live TCP deployment exactly as it would against an in-memory
+// Cluster. The error reports an unreachable shard or a server the
+// addressed shard does not host; a schedule driver counts such flips as
+// misses and keeps going.
+func (c *Client) Flip(ctx context.Context, server int, behavior sim.Behavior) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	addr, ok := c.routes[server]
+	if !ok {
+		return fmt.Errorf("wire: no route for server %d", server)
+	}
+	p, err := c.pool(addr)
+	if err != nil {
+		return err
+	}
+	resp, err := p.pick().roundTripControl(ctx, uint32(server), behavior)
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("wire: flip server %d to %v: shard %s unreachable or not hosting it", server, behavior, addr)
+	}
+	return nil
+}
+
+var _ sim.Flipper = (*Client)(nil)
+
 func (c *Client) pool(addr string) (*pool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -218,7 +250,27 @@ var errDown = fmt.Errorf("wire: server down")
 // roundTrip sends req and waits for its response, ctx, or connection
 // death (which counts as Response{OK: false}).
 func (cn *conn) roundTrip(ctx context.Context, server uint32, req sim.Request) (sim.Response, error) {
-	id, ch, err := cn.send(ctx, server, req)
+	return cn.roundTripFrame(ctx, func(id uint64) ([]byte, error) {
+		return AppendRequest(nil, id, server, req)
+	})
+}
+
+// roundTripControl sends a behavior flip and waits for its acknowledgement
+// under the same contract as roundTrip: an unreachable shard answers
+// Response{OK: false} rather than erroring, because a churn schedule must
+// keep running over a partially dead deployment.
+func (cn *conn) roundTripControl(ctx context.Context, server uint32, behavior sim.Behavior) (sim.Response, error) {
+	return cn.roundTripFrame(ctx, func(id uint64) ([]byte, error) {
+		return AppendControl(nil, id, server, behavior)
+	})
+}
+
+// roundTripFrame sends the frame built by encode (called with the fresh
+// request ID under the connection's state mutex) and waits for the
+// matching response, ctx, or connection death (which counts as
+// Response{OK: false}).
+func (cn *conn) roundTripFrame(ctx context.Context, encode func(id uint64) ([]byte, error)) (sim.Response, error) {
+	id, ch, err := cn.send(ctx, encode)
 	if err == errDown {
 		return sim.Response{OK: false}, nil
 	}
@@ -237,9 +289,9 @@ func (cn *conn) roundTrip(ctx context.Context, server uint32, req sim.Request) (
 }
 
 // send ensures the connection is up, registers a pending entry, and
-// writes the request frame. The write itself happens outside the state
-// mutex (under wmu) so responses keep flowing while it blocks.
-func (cn *conn) send(ctx context.Context, server uint32, req sim.Request) (uint64, chan sim.Response, error) {
+// writes the frame built by encode. The write itself happens outside the
+// state mutex (under wmu) so responses keep flowing while it blocks.
+func (cn *conn) send(ctx context.Context, encode func(id uint64) ([]byte, error)) (uint64, chan sim.Response, error) {
 	if err := cn.ensureConn(ctx); err != nil {
 		return 0, nil, err
 	}
@@ -256,10 +308,10 @@ func (cn *conn) send(ctx context.Context, server uint32, req sim.Request) (uint6
 	}
 	cn.nextID++
 	id := cn.nextID
-	frame, err := AppendRequest(nil, id, server, req)
+	frame, err := encode(id)
 	if err != nil {
 		cn.mu.Unlock()
-		return 0, nil, err // oversized value: caller bug, abort
+		return 0, nil, err // unencodable frame (oversized value): caller bug, abort
 	}
 	ch := make(chan sim.Response, 1)
 	cn.pending[id] = ch

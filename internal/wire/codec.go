@@ -34,6 +34,7 @@ import (
 //
 //	request  := tagRequest id:u64 server:u32 op:u8 reader:i64 value
 //	response := tagResponse id:u64 flags:u8 value
+//	control  := tagControl id:u64 server:u32 behavior:u8
 //	value    := seq:i64 writer:i64 len:u32 bytes
 //
 // id is the pipelining correlation token: the client picks it, the server
@@ -41,9 +42,18 @@ import (
 // Response.OK. All integers are big-endian; Timestamp.Writer and
 // Request.ReaderID travel as 64-bit two's complement so negative sentinel
 // writers (the collusion timestamps use Writer = −1) survive the trip.
+//
+// The control frame is the fault-injection channel of the churn engine:
+// it asks the shard hosting the addressed server to flip that replica to
+// the given sim.Behavior, and is answered with an ordinary response frame
+// (OK reports whether the replica is hosted here). It is what lets a
+// remote schedule driver (sim.FaultController over a wire.Client) crash
+// and recover servers mid-run, so live availability can be measured
+// against F_p(Q) (Definition 3.10) over real TCP.
 const (
 	tagRequest  = 0x51
 	tagResponse = 0x52
+	tagControl  = 0x53
 
 	// MaxFrame bounds a payload so a corrupt or hostile length prefix
 	// cannot make a peer allocate unboundedly. It also caps the value a
@@ -55,6 +65,7 @@ const (
 	responseOverhead = 1 + 8 + 1         // tag + id + flags
 	reqHeaderLen     = requestOverhead + valueHeaderLen
 	respHeaderLen    = responseOverhead + valueHeaderLen
+	controlLen       = 1 + 8 + 4 + 1 // tag + id + server + behavior
 
 	// MaxValueLen is the longest register value a frame can carry.
 	MaxValueLen = MaxFrame - reqHeaderLen
@@ -165,6 +176,41 @@ func DecodeResponse(p []byte) (id uint64, resp sim.Response, err error) {
 	}
 	resp.Value = tv
 	return id, resp, nil
+}
+
+// AppendControl appends a complete control frame (length prefix included)
+// asking the shard hosting the given global server index to flip that
+// replica to behavior, correlated by id. Unknown behaviors are rejected at
+// encode time, mirroring the decoder, so a bad flip fails at the caller
+// instead of poisoning the stream.
+func AppendControl(dst []byte, id uint64, server uint32, behavior sim.Behavior) ([]byte, error) {
+	if !sim.KnownBehavior(behavior) {
+		return dst, fmt.Errorf("wire: unknown behavior %d", int(behavior))
+	}
+	dst = binary.BigEndian.AppendUint32(dst, controlLen)
+	dst = append(dst, tagControl)
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	dst = binary.BigEndian.AppendUint32(dst, server)
+	return append(dst, byte(behavior)), nil
+}
+
+// DecodeControl parses a control payload. Like the response decoder's
+// flag check, it rejects behavior bytes outside the defined range, so a
+// hostile or corrupt peer cannot flip a replica into an undefined mode.
+func DecodeControl(p []byte) (id uint64, server uint32, behavior sim.Behavior, err error) {
+	if len(p) != controlLen {
+		return 0, 0, 0, fmt.Errorf("wire: control payload of %d bytes, want %d", len(p), controlLen)
+	}
+	if p[0] != tagControl {
+		return 0, 0, 0, fmt.Errorf("wire: payload tag %#x is not a control frame", p[0])
+	}
+	id = binary.BigEndian.Uint64(p[1:])
+	server = binary.BigEndian.Uint32(p[9:])
+	behavior = sim.Behavior(p[13])
+	if !sim.KnownBehavior(behavior) {
+		return 0, 0, 0, fmt.Errorf("wire: unknown behavior %d in control frame", int(behavior))
+	}
+	return id, server, behavior, nil
 }
 
 // ReadFrame reads one length-prefixed payload from r, reusing buf when it

@@ -2,8 +2,9 @@ package wire
 
 import (
 	"fmt"
-	"strconv"
 	"strings"
+
+	"bqs/internal/sim"
 )
 
 // MaxIDRange bounds how many server indices one range spec may name. It
@@ -26,14 +27,12 @@ func ParseIDRange(spec string) ([]int, error) {
 	return out, nil
 }
 
+// parseRange delegates the shared "lo-hi"/"id" syntax to sim's parser
+// (fault schedules and churn specs use the identical form) and adds the
+// wire-level size cap.
 func parseRange(spec string) (lo, hi int, err error) {
-	lostr, histr, dashed := strings.Cut(spec, "-")
-	if !dashed {
-		histr = lostr
-	}
-	lo, errLo := strconv.Atoi(lostr)
-	hi, errHi := strconv.Atoi(histr)
-	if errLo != nil || errHi != nil || lo < 0 || hi < lo {
+	lo, hi, err = sim.ParseServerRange(spec)
+	if err != nil {
 		return 0, 0, fmt.Errorf("wire: bad id range %q (want \"lo-hi\" or \"id\")", spec)
 	}
 	if hi-lo+1 > MaxIDRange {

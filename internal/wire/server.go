@@ -108,9 +108,10 @@ func (s *Server) Serve(lis net.Listener) error {
 	}
 }
 
-// serveConn reads request frames and answers them. A malformed frame is a
-// protocol error: the connection is dropped (a well-behaved peer never
-// sends one, and there is no way to re-synchronize a corrupt stream).
+// serveConn reads request and control frames and answers them. A
+// malformed frame is a protocol error: the connection is dropped (a
+// well-behaved peer never sends one, and there is no way to
+// re-synchronize a corrupt stream).
 func (s *Server) serveConn(nc net.Conn) {
 	defer func() {
 		s.mu.Lock()
@@ -128,17 +129,32 @@ func (s *Server) serveConn(nc net.Conn) {
 			return
 		}
 		buf = frame
-		id, server, req, err := DecodeRequest(frame)
-		if err != nil {
-			return
+		var (
+			id   uint64
+			resp func() sim.Response // deferred so it runs on the handler goroutine
+		)
+		switch frame[0] {
+		case tagRequest:
+			reqID, server, req, err := DecodeRequest(frame)
+			if err != nil {
+				return
+			}
+			id, resp = reqID, func() sim.Response { return s.handle(server, req) }
+		case tagControl:
+			ctlID, server, behavior, err := DecodeControl(frame)
+			if err != nil {
+				return
+			}
+			id, resp = ctlID, func() sim.Response { return s.control(server, behavior) }
+		default:
+			return // unknown frame kind: protocol error
 		}
 		if !s.beginRequest() {
 			return // shutting down: stop consuming new frames
 		}
 		go func() {
 			defer s.inflight.Done()
-			resp := s.handle(server, req)
-			out, err := AppendResponse(nil, id, resp)
+			out, err := AppendResponse(nil, id, resp())
 			if err != nil {
 				// A response that cannot be encoded (oversized value from a
 				// Byzantine replica) degrades to unresponsiveness.
@@ -185,6 +201,21 @@ func (s *Server) handle(server uint32, req sim.Request) sim.Response {
 		return sim.Response{OK: false}
 	}
 	return resp
+}
+
+// control applies a remote behavior flip to the addressed replica — the
+// server half of the churn engine's fault-injection channel, which is how
+// a sim.FaultController behind a wire.Client crashes and recovers remote
+// servers mid-run. A flip for a server this shard does not host answers
+// Response{OK: false}, so the driver learns the route was wrong without
+// the connection dying.
+func (s *Server) control(server uint32, behavior sim.Behavior) sim.Response {
+	rep, ok := s.replicas[int(server)]
+	if !ok {
+		return sim.Response{OK: false}
+	}
+	rep.SetBehavior(behavior)
+	return sim.Response{OK: true}
 }
 
 // Shutdown gracefully stops the server: it closes the listeners (so Serve
