@@ -12,6 +12,7 @@ package bqs_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"net"
 	"sync/atomic"
@@ -580,6 +581,109 @@ func BenchmarkWireThroughput(b *testing.B) {
 		}
 		workload(b, cluster)
 	})
+}
+
+// BenchmarkSessionBatched measures what the Session batcher buys: one
+// client pipelines `batch` keyed operations at a time over a 64-key
+// space, so the probes of concurrent operations coalesce into batched
+// frames (per shard over TCP). batch=1 is the unbatched baseline — same
+// session machinery, every probe its own frame — making the ratio a pure
+// measurement of frame coalescing. The TCPLoopback variant is the
+// acceptance number: batch=32 must beat batch=1 by ≥1.5× ops/s (see
+// EXPERIMENTS.md).
+func BenchmarkSessionBatched(b *testing.B) {
+	ctx := context.Background()
+	newSys := func(b *testing.B) bqs.System {
+		b.Helper()
+		sys, err := bqs.NewMGrid(4, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sys
+	}
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%04d", i)
+	}
+	workload := func(b *testing.B, cluster *bqs.Cluster, batch int) {
+		b.Helper()
+		sess := cluster.NewClient(1).NewSession(bqs.WithSessionBatch(batch))
+		defer sess.Close()
+		wfs := make([]*bqs.WriteFuture, 0, batch)
+		rfs := make([]*bqs.ReadFuture, 0, batch)
+		b.ResetTimer()
+		for issued := 0; issued < b.N; {
+			n := batch
+			if b.N-issued < n {
+				n = b.N - issued
+			}
+			wfs, rfs = wfs[:0], rfs[:0]
+			for j := 0; j < n; j++ {
+				key := keys[(issued+j)%len(keys)]
+				if (issued+j)%2 == 0 {
+					wfs = append(wfs, sess.WriteAsync(ctx, key, "bench"))
+				} else {
+					rfs = append(rfs, sess.ReadAsync(ctx, key))
+				}
+			}
+			issued += n
+			for _, f := range wfs {
+				if err := f.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, f := range rfs {
+				if _, err := f.Wait(); err != nil && !errors.Is(err, bqs.ErrNoCandidate) {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	for _, batch := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("InMemory/batch=%d", batch), func(b *testing.B) {
+			cluster, err := bqs.NewCluster(newSys(b), 1, bqs.WithSeed(40))
+			if err != nil {
+				b.Fatal(err)
+			}
+			workload(b, cluster, batch)
+		})
+	}
+	for _, batch := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("TCPLoopback/batch=%d", batch), func(b *testing.B) {
+			sys := newSys(b)
+			n := sys.UniverseSize()
+			routes := make(map[int]string, n)
+			// Two shards, so batching also exercises the per-address
+			// grouping (one frame per shard per flush).
+			for _, ids := range [][]int{{0, n / 2}, {n / 2, n}} {
+				replicas := make(map[int]*bqs.Server)
+				for i := ids[0]; i < ids[1]; i++ {
+					replicas[i] = bqs.NewServer(i)
+				}
+				lis, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				srv := bqs.NewWireServer(replicas)
+				go srv.Serve(lis)
+				defer srv.Close()
+				for i := ids[0]; i < ids[1]; i++ {
+					routes[i] = lis.Addr().String()
+				}
+			}
+			tr, err := bqs.DialWire(routes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer tr.Close()
+			cluster, err := bqs.NewCluster(sys, 1, bqs.WithSeed(41),
+				bqs.WithTransport(func([]*bqs.Server) bqs.Transport { return tr }))
+			if err != nil {
+				b.Fatal(err)
+			}
+			workload(b, cluster, batch)
+		})
+	}
 }
 
 // --- Extensions beyond the paper's minimum ----------------------------------

@@ -79,6 +79,10 @@ type (
 	Authenticator = sim.Authenticator
 	// Behavior is a server fault mode for injection.
 	Behavior = sim.Behavior
+	// TaggedValue is a register value with its write timestamp.
+	TaggedValue = sim.TaggedValue
+	// Timestamp orders writes: lexicographic on (Seq, Writer).
+	Timestamp = sim.Timestamp
 	// Server is one replica of the shared variable.
 	Server = sim.Server
 	// ClusterOption configures NewCluster (seed, loss, latency, transport).
@@ -86,12 +90,30 @@ type (
 	// Transport delivers protocol messages to servers; implement it to run
 	// the protocol over a custom message layer.
 	Transport = sim.Transport
-	// Request is a protocol message addressed to one server.
+	// Request is a protocol message addressed to one server; Key names
+	// the register it targets.
 	Request = sim.Request
 	// Response is a server's answer to a Request.
 	Response = sim.Response
 	// Op identifies a protocol message type.
 	Op = sim.Op
+	// BatchItem is one operation of a batched transport frame.
+	BatchItem = sim.BatchItem
+	// BatchTransport is the optional whole-frame fast path a Transport
+	// can offer the session batcher.
+	BatchTransport = sim.BatchTransport
+	// BatchGrouper is the optional coalescing hint a Transport can give
+	// the session batcher (probes to one shard share a frame).
+	BatchGrouper = sim.BatchGrouper
+	// Session is the asynchronous, batching face of a client: futures
+	// plus per-destination frame coalescing; see Client.NewSession.
+	Session = sim.Session
+	// SessionOption configures NewSession (batch size, linger).
+	SessionOption = sim.SessionOption
+	// ReadFuture is the pending result of Session.ReadAsync.
+	ReadFuture = sim.ReadFuture
+	// WriteFuture is the pending result of Session.WriteAsync.
+	WriteFuture = sim.WriteFuture
 
 	// FaultEvent is one entry of a fault timeline: at offset At, server
 	// Server switches to Behavior.
@@ -135,6 +157,8 @@ var (
 	// ErrRetriesExhausted reports that live quorums kept containing
 	// unresponsive servers beyond the client's retry budget.
 	ErrRetriesExhausted = sim.ErrRetriesExhausted
+	// ErrSessionClosed reports a session operation issued after Close.
+	ErrSessionClosed = sim.ErrSessionClosed
 	// ErrWireServerClosed is returned by WireServer.Serve after Shutdown
 	// or Close.
 	ErrWireServerClosed = wire.ErrServerClosed
@@ -155,6 +179,31 @@ const (
 	OpRead           = sim.OpRead
 	OpWrite          = sim.OpWrite
 )
+
+// Keyed data plane constants.
+const (
+	// DefaultKey is the register the single-object Client.Read and
+	// Client.Write operate on; the keyed API is a superset of that
+	// original data plane.
+	DefaultKey = sim.DefaultKey
+	// DefaultSessionBatch is the frame-size flush threshold NewSession
+	// uses unless WithSessionBatch overrides it.
+	DefaultSessionBatch = sim.DefaultSessionBatch
+	// DefaultSessionLinger is the frame linger NewSession uses unless
+	// WithSessionLinger overrides it.
+	DefaultSessionLinger = sim.DefaultSessionLinger
+	// WireProtoVersion is the highest wire protocol version this build
+	// speaks (2: keyed, batched frames with hello negotiation).
+	WireProtoVersion = wire.ProtoVersion
+)
+
+// WithSessionBatch sets how many probes a session frame holds before it
+// flushes; 1 disables coalescing (the unbatched baseline).
+func WithSessionBatch(n int) SessionOption { return sim.WithSessionBatch(n) }
+
+// WithSessionLinger sets how long a non-full session frame waits for
+// company before flushing; 0 flushes every probe immediately.
+func WithSessionLinger(d time.Duration) SessionOption { return sim.WithSessionLinger(d) }
 
 // NewSet returns an empty Set sized for a universe of n servers.
 func NewSet(n int) Set { return bitset.New(n) }
@@ -447,6 +496,12 @@ func WithWireDialTimeout(d time.Duration) WireDialOption { return wire.WithDialT
 // WithWireRedialBackoff sets how long an address stays marked down after
 // a failed connection attempt (default 100ms).
 func WithWireRedialBackoff(d time.Duration) WireDialOption { return wire.WithRedialBackoff(d) }
+
+// WithWireVersion caps the wire protocol version DialWire speaks
+// (default WireProtoVersion). Use 1 against a fleet of old daemons: no
+// hello, v1 single frames only, keyed operations answering
+// Response{OK: false}.
+func WithWireVersion(v int) WireDialOption { return wire.WithVersion(v) }
 
 // ParseRoutes parses "0-8=hostA:7000,9-24=hostB:7000" into the route
 // table DialWire consumes.

@@ -13,7 +13,14 @@
 //	bqs-server -listen :7002 -servers 11-15 -byzantine 12 &
 //	bqs-client -system mgrid -b 1 \
 //	    -routes 0-5=localhost:7000,6-10=localhost:7001,11-15=localhost:7002 \
-//	    -clients 8 -duration 5s
+//	    -clients 8 -duration 5s -keys 64 -key-dist zipf:1.1 -batch 16
+//
+// -keys/-key-dist spread the workload over a keyed object space (zipf:S
+// for skewed popularity), and -batch M drives each client through a
+// Session with M operations in flight: probes destined for replicas of
+// one shard coalesce into a single wire-v2 batch frame, the biggest
+// throughput lever on a real network. -wire-version 1 talks to old
+// daemons (single keyless v1 frames only).
 //
 // The route table must cover every server of the chosen system's
 // universe; run bqs-client with a -system/-b pair first to learn the
@@ -57,6 +64,10 @@ func run() error {
 	timeout := flag.Duration("timeout", 2*time.Second, "per-operation deadline (0 = none)")
 	poolSize := flag.Int("pool", 1, "TCP connections per server address")
 	seed := flag.Int64("seed", 1, "random seed for quorum selection")
+	keys := flag.Int("keys", 0, "key-space size: each op targets one of N keys (0 = the single default register)")
+	keyDist := flag.String("key-dist", "uniform", "key popularity: uniform|zipf:S (S > 1, e.g. zipf:1.1)")
+	batch := flag.Int("batch", 1, "operations in flight per client via a Session; probes to one shard share a frame (1 = blocking calls)")
+	wireVersion := flag.Int("wire-version", bqs.WireProtoVersion, "highest wire protocol version to speak (1 for old daemons: keyless single frames only)")
 	faultSchedule := flag.String("fault-schedule", "", "fault timeline \"100ms:3:crashed,600ms:3:correct\" driven remotely via control frames")
 	churn := flag.String("churn", "", "stochastic churn \"mtbf=300ms,mttr=100ms[,down=behavior][,servers=lo-hi]\" over the -duration horizon, driven remotely")
 	suspicionTTL := flag.Duration("suspicion-ttl", 0, "client suspicion TTL so recovered servers regain traffic (0 = auto: 50ms when churn is active)")
@@ -78,7 +89,7 @@ func run() error {
 	if err := bqs.CheckRouteCoverage(table, n); err != nil {
 		return err
 	}
-	tr, err := bqs.DialWire(table, bqs.WithWirePoolSize(*poolSize))
+	tr, err := bqs.DialWire(table, bqs.WithWirePoolSize(*poolSize), bqs.WithWireVersion(*wireVersion))
 	if err != nil {
 		return err
 	}
@@ -107,7 +118,12 @@ func run() error {
 	for _, addr := range table {
 		shards[addr] = true
 	}
-	w := harness.Workload{Clients: *clients, Ops: *ops, Duration: *duration, Timeout: *timeout, SuspicionTTL: ttl}
+	dist, err := harness.ParseKeyDist(*keyDist)
+	if err != nil {
+		return err
+	}
+	w := harness.Workload{Clients: *clients, Ops: *ops, Duration: *duration, Timeout: *timeout,
+		SuspicionTTL: ttl, Keys: *keys, Dist: dist, Batch: *batch, Seed: *seed}
 	fmt.Printf("workload: %s against %d shards (strategy=%s)\n", w.Describe(), len(shards), *strategy)
 
 	// Remote churn: the driver replays the schedule against the

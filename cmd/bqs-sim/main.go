@@ -11,6 +11,7 @@
 //	        [-strategy uniform|optimal] [-byzantine 3] [-crashed 2]
 //	        [-clients 8] [-ops 100] [-duration 0] [-drop 0] [-latency 0]
 //	        [-jitter 0] [-timeout 0] [-deterministic] [-seed 1]
+//	        [-keys 0] [-key-dist uniform|zipf:S] [-batch 1]
 //	        [-fault-schedule SPEC] [-churn SPEC] [-suspicion-ttl 0]
 //	        [-availability SPEC]
 //
@@ -21,6 +22,13 @@
 // lands more than 10% from the LP value. The workload and report come
 // from internal/harness, shared with cmd/bqs-client, so in-memory and TCP
 // clusters are measured comparably.
+//
+// The keyed data plane: -keys N spreads operations over an N-key object
+// space with popularity -key-dist (uniform, or zipf:S for rank-S^-s skew
+// — load is per quorum access and key-oblivious, so the LP convergence
+// check stays armed at any skew), and -batch M drives each client
+// through a Session with M operations in flight, whose probes coalesce
+// into batched transport frames.
 //
 // Dynamic faults (the churn engine): -fault-schedule replays a
 // deterministic timeline ("100ms:3:crashed,600ms:3:correct") and -churn
@@ -75,6 +83,9 @@ func run() error {
 	timeout := flag.Duration("timeout", 0, "per-operation deadline (0 = none)")
 	deterministic := flag.Bool("deterministic", false, "probe sequentially for exact reproducibility")
 	seed := flag.Int64("seed", 1, "random seed")
+	keys := flag.Int("keys", 0, "key-space size: each op targets one of N keys (0 = the single default register)")
+	keyDist := flag.String("key-dist", "uniform", "key popularity: uniform|zipf:S (S > 1, e.g. zipf:1.1)")
+	batch := flag.Int("batch", 1, "operations in flight per client via a Session; probes coalesce into batched frames (1 = blocking calls)")
 	faultSchedule := flag.String("fault-schedule", "", "fault timeline \"100ms:3:crashed,600ms:3:correct\" replayed while the workload runs")
 	churn := flag.String("churn", "", "stochastic churn \"mtbf=300ms,mttr=100ms[,down=behavior][,servers=lo-hi]\" over the -duration horizon")
 	suspicionTTL := flag.Duration("suspicion-ttl", 0, "client suspicion TTL so recovered servers regain traffic (0 = auto: 50ms when churn is active)")
@@ -121,6 +132,11 @@ func run() error {
 			fmt.Printf("note: -deterministic forces -clients 1 (was %d)\n", *clients)
 			*clients = 1
 		}
+		// Session pipelining interleaves operations nondeterministically.
+		if *batch > 1 {
+			fmt.Printf("note: -deterministic forces -batch 1 (was %d)\n", *batch)
+			*batch = 1
+		}
 	}
 	cluster, err := bqs.NewCluster(sys, *b, opts...)
 	if err != nil {
@@ -139,7 +155,12 @@ func run() error {
 	}
 	fmt.Printf("faults: %d byzantine (fabricating), %d crashed\n", *byzantine, *crashed)
 
-	w := harness.Workload{Clients: *clients, Ops: *ops, Duration: *duration, Timeout: *timeout, SuspicionTTL: ttl}
+	dist, err := harness.ParseKeyDist(*keyDist)
+	if err != nil {
+		return err
+	}
+	w := harness.Workload{Clients: *clients, Ops: *ops, Duration: *duration, Timeout: *timeout,
+		SuspicionTTL: ttl, Keys: *keys, Dist: dist, Batch: *batch, Seed: *seed}
 	fmt.Printf("workload: %s (strategy=%s, drop=%.3f, latency=%v±%v)\n",
 		w.Describe(), *strategy, *drop, *latency, *jitter)
 

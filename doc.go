@@ -24,18 +24,25 @@
 //   - Quorum composition S∘R (Definition 4.6) with the Theorem 4.7
 //     parameter algebra, and the boosting technique that turns any
 //     regular quorum system into a b-masking one.
-//   - A simulated replicated shared variable (the [MR98a] protocol) for
-//     exercising the constructions end to end under injected crash and
-//     Byzantine faults: a concurrent, context-aware quorum-access engine
-//     (Cluster/Client over a pluggable Transport) that fans probes out to
-//     quorum members in parallel, supports any number of concurrent
-//     clients, and measures empirical load from live traffic
-//     (Cluster.LoadProfile) for comparison against the Theorem 4.1 bounds.
+//   - A simulated keyed object store running the [MR98a] protocol
+//     independently per key, for exercising the constructions end to end
+//     under injected crash and Byzantine faults: a concurrent,
+//     context-aware quorum-access engine (Cluster/Client over a pluggable
+//     Transport) that fans probes out to quorum members in parallel,
+//     supports any number of concurrent clients, and measures empirical
+//     load from live traffic (Cluster.LoadProfile) for comparison against
+//     the Theorem 4.1 bounds. Client.ReadKey/WriteKey address individual
+//     registers (Read/Write are the DefaultKey register), and the Session
+//     API (Client.NewSession) pipelines keyed operations asynchronously —
+//     ReadAsync/WriteAsync futures whose quorum probes coalesce into
+//     batched transport frames, flushed on size or a short linger.
 //   - A real network stack behind the same Transport seam: NewWireServer
 //     hosts shards of sim replicas over TCP with a length-prefixed binary
-//     protocol and graceful shutdown, and DialWire returns a pipelined,
-//     connection-pooled, auto-reconnecting client transport that maps
-//     unreachable servers to Response{OK: false}, so quorum re-selection
+//     protocol (v2: keyed, batched frames, version-negotiated at connect
+//     with v1 interop) and graceful shutdown, and DialWire returns a
+//     pipelined, connection-pooled, auto-reconnecting client transport
+//     that maps unreachable servers to Response{OK: false} — a batched
+//     frame to a dead shard fails fast as a unit — so quorum re-selection
 //     masks network failures exactly like crashes. cmd/bqs-server and
 //     cmd/bqs-client run a deployment from the command line.
 //   - A dynamic fault/churn engine that flips server behaviors WHILE a

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"bqs/internal/bitset"
 )
@@ -42,6 +43,10 @@ type StrategyPicker struct {
 	quorums []bitset.Set // aligned with st's weights; never mutated
 	st      *Strategy
 	load    float64 // L_w(Q) induced by st
+	// scratch recycles the survivor index buffer the conditioned draw
+	// needs: PickQuorum sits on every protocol phase of every concurrent
+	// client, so the under-failure path must not allocate per operation.
+	scratch sync.Pool
 }
 
 // NewStrategyPicker builds a picker sampling sys's quorum list according
@@ -52,7 +57,12 @@ func NewStrategyPicker(sys Enumerable, st *Strategy) (*StrategyPicker, error) {
 		return nil, fmt.Errorf("core: strategy over %d quorums does not match %s with %d",
 			st.Len(), sys.Name(), len(quorums))
 	}
-	return &StrategyPicker{quorums: quorums, st: st, load: st.InducedSystemLoad(sys)}, nil
+	p := &StrategyPicker{quorums: quorums, st: st, load: st.InducedSystemLoad(sys)}
+	p.scratch.New = func() any {
+		buf := make([]int, 0, len(quorums))
+		return &buf
+	}
+	return p, nil
 }
 
 // Strategy returns the access strategy the picker samples from.
@@ -70,7 +80,11 @@ func (p *StrategyPicker) PickQuorum(rng *rand.Rand, dead bitset.Set) (bitset.Set
 	// Condition on the live set: one filtering pass collects the surviving
 	// quorums and their total weight, so the draw below walks the (often
 	// small) survivor list instead of re-filtering the full enumeration.
-	survivors := make([]int, 0, len(p.quorums))
+	// The index buffer is pooled — per-operation allocation here would
+	// dominate the under-suspicion hot path (see BenchmarkStrategyPick).
+	bufp := p.scratch.Get().(*[]int)
+	defer p.scratch.Put(bufp)
+	survivors := (*bufp)[:0]
 	total := 0.0
 	for i, q := range p.quorums {
 		if q.Intersects(dead) {

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"bqs/internal/bitset"
+)
+
+// benchSystem builds an explicit system of m size-3 quorums over 3m
+// servers (trivially 1-intersecting per column construction is not
+// needed here — picker benchmarks only exercise selection, not masking).
+func benchSystem(tb testing.TB, m int) *ExplicitSystem {
+	tb.Helper()
+	n := 3 * m
+	quorums := make([]bitset.Set, m)
+	for i := range quorums {
+		q := bitset.New(n)
+		q.Add(3 * i)
+		q.Add(3*i + 1)
+		q.Add(3*i + 2)
+		// Share server 0 so every pair intersects and verification passes.
+		q.Add(0)
+		quorums[i] = q
+	}
+	sys, err := NewExplicit("bench", n, quorums)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sys
+}
+
+func benchPicker(tb testing.TB, m int) *StrategyPicker {
+	tb.Helper()
+	sys := benchSystem(tb, m)
+	p, err := NewStrategyPicker(sys, UniformStrategy(m))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkStrategyPick pins the picker hot path's allocation behavior:
+// the failure-free draw is a cumulative-weight lookup with zero
+// allocations, and the conditioned (suspicion) draw reuses a pooled
+// survivor buffer instead of reallocating per operation. Run with
+// -benchmem; TestStrategyPickAllocs asserts the numbers.
+func BenchmarkStrategyPick(b *testing.B) {
+	p := benchPicker(b, 256)
+	rng := rand.New(rand.NewSource(1))
+	b.Run("fault-free", func(b *testing.B) {
+		b.ReportAllocs()
+		empty := bitset.Set{}
+		for i := 0; i < b.N; i++ {
+			if _, err := p.PickQuorum(rng, empty); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("suspecting", func(b *testing.B) {
+		b.ReportAllocs()
+		dead := bitset.New(3 * 256)
+		dead.Add(4) // kills quorum 1 only; server 0 must stay alive
+		for i := 0; i < b.N; i++ {
+			if _, err := p.PickQuorum(rng, dead); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestStrategyPickAllocs is the allocation regression gate for the
+// numbers BenchmarkStrategyPick reports: 0 allocs/op on the fault-free
+// path, and 0 amortized allocs/op on the conditioned path once the
+// scratch pool is warm.
+func TestStrategyPickAllocs(t *testing.T) {
+	p := benchPicker(t, 128)
+	rng := rand.New(rand.NewSource(7))
+
+	empty := bitset.Set{}
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := p.PickQuorum(rng, empty); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("fault-free PickQuorum allocates %.1f/op, want 0", avg)
+	}
+
+	dead := bitset.New(3 * 128)
+	dead.Add(4)
+	// Warm the pool before measuring so the one-time buffer doesn't count.
+	if _, err := p.PickQuorum(rng, dead); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := p.PickQuorum(rng, dead); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 0.1 {
+		t.Errorf("conditioned PickQuorum allocates %.2f/op, want ~0 (pooled scratch)", avg)
+	}
+}

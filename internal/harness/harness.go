@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -184,7 +185,8 @@ func (d *ChurnDriver) Stop() error {
 	return nil
 }
 
-// Workload shapes a mixed ~50/50 read/write run.
+// Workload shapes a mixed ~50/50 read/write run over a keyed object
+// space.
 type Workload struct {
 	Clients  int
 	Ops      int           // per client; ignored when Duration > 0
@@ -194,14 +196,34 @@ type Workload struct {
 	// churn it is what lets recovered servers regain traffic instead of
 	// staying suspected forever. Zero keeps the default (no aging).
 	SuspicionTTL time.Duration
+	// Keys sizes the key space: each operation targets a key drawn from
+	// Dist. 0 keeps the original single-object workload (every operation
+	// on the DefaultKey register).
+	Keys int
+	// Dist is the key-popularity distribution (uniform unless set).
+	Dist KeyDist
+	// Batch > 1 drives each client through a Session with that many
+	// operations in flight, so concurrently issued probes coalesce into
+	// batched transport frames; ≤ 1 keeps blocking one-at-a-time calls.
+	Batch int
+	// Seed decorrelates key sampling across runs (combined with the
+	// client id, so clients draw independent key streams).
+	Seed int64
 }
 
 // Describe returns the one-line workload summary both binaries print.
 func (w Workload) Describe() string {
+	shape := fmt.Sprintf("%d clients × %d ops", w.Clients, w.Ops)
 	if w.Duration > 0 {
-		return fmt.Sprintf("%d clients for %v", w.Clients, w.Duration)
+		shape = fmt.Sprintf("%d clients for %v", w.Clients, w.Duration)
 	}
-	return fmt.Sprintf("%d clients × %d ops", w.Clients, w.Ops)
+	if w.Keys > 0 {
+		shape += fmt.Sprintf(", %d keys %s", w.Keys, w.Dist)
+	}
+	if w.Batch > 1 {
+		shape += fmt.Sprintf(", batch %d", w.Batch)
+	}
+	return shape
 }
 
 // Counters tallies workload outcomes.
@@ -227,12 +249,16 @@ func (c Counters) Succeeded() int64 { return c.Reads + c.Writes }
 
 // Run drives the workload against the cluster: w.Clients concurrent
 // clients alternating writes and reads (client id + op index parity, so
-// the fleet is always mixed), each operation under its own deadline. In
-// duration mode every operation's context additionally derives from a
-// run-wide deadline at start+Duration, so the run actually ends at the
-// boundary instead of letting each client's last operation drift past it;
-// an operation cut off by that run deadline is counted neither as a
-// success nor as a failure — it simply did not fit in the window.
+// the fleet is always mixed) over keys drawn from w.Dist, each operation
+// under its own deadline. With w.Batch > 1 every client works through a
+// Session, keeping Batch operations in flight at once so their quorum
+// probes coalesce into batched transport frames; otherwise it issues
+// blocking calls one at a time. In duration mode every operation's
+// context additionally derives from a run-wide deadline at
+// start+Duration, so the run actually ends at the boundary instead of
+// letting each client's last operation drift past it; an operation cut
+// off by that run deadline is counted neither as a success nor as a
+// failure — it simply did not fit in the window.
 func Run(cluster *bqs.Cluster, w Workload) Counters {
 	var (
 		wg                       sync.WaitGroup
@@ -252,6 +278,34 @@ func Run(cluster *bqs.Cluster, w Workload) Counters {
 			defer wg.Done()
 			cl := cluster.NewClient(id)
 			cl.SuspicionTTL = w.SuspicionTTL
+			// Per-client key stream: independent across clients, stable
+			// for a given seed.
+			rng := rand.New(rand.NewSource(w.Seed + (int64(id)+1)*0x9e3779b9))
+			keyOf := w.Dist.Sampler(w.Keys, rng)
+			// record tallies one completed operation; it reports true when
+			// the operation was cut off at the run boundary, which ends the
+			// client without counting the op as an outcome.
+			record := func(read bool, got bqs.TaggedValue, err error) bool {
+				switch {
+				case read && errors.Is(err, bqs.ErrNoCandidate):
+					noCandidates.Add(1)
+				case err != nil && runCtx.Err() != nil:
+					return true // cut off at the run boundary; not an outcome
+				case err != nil:
+					failures.Add(1)
+				case read && strings.HasPrefix(got.Value, bqs.FabricatedValue):
+					violations.Add(1)
+				case read:
+					reads.Add(1)
+				default:
+					writes.Add(1)
+				}
+				return false
+			}
+			if w.Batch > 1 {
+				runSession(runCtx, cl, w, id, keyOf, record)
+				return
+			}
 			for op := 0; ; op++ {
 				if w.Duration > 0 {
 					if runCtx.Err() != nil {
@@ -260,36 +314,23 @@ func Run(cluster *bqs.Cluster, w Workload) Counters {
 				} else if op >= w.Ops {
 					return
 				}
+				key := KeyName(w.Keys, keyOf())
 				opCtx, cancel := runCtx, context.CancelFunc(func() {})
 				if w.Timeout > 0 {
 					opCtx, cancel = context.WithTimeout(runCtx, w.Timeout)
 				}
 				if (id+op)%2 == 0 {
-					err := cl.Write(opCtx, fmt.Sprintf("c%d-op%04d", id, op))
+					err := cl.WriteKey(opCtx, key, fmt.Sprintf("c%d-op%04d", id, op))
 					cancel()
-					switch {
-					case err == nil:
-						writes.Add(1)
-					case runCtx.Err() != nil:
-						return // cut off at the run boundary; not an outcome
-					default:
-						failures.Add(1)
+					if record(false, bqs.TaggedValue{}, err) {
+						return
 					}
 					continue
 				}
-				got, err := cl.Read(opCtx)
+				got, err := cl.ReadKey(opCtx, key)
 				cancel()
-				switch {
-				case errors.Is(err, bqs.ErrNoCandidate):
-					noCandidates.Add(1)
-				case err != nil && runCtx.Err() != nil:
-					return // cut off at the run boundary; not an outcome
-				case err != nil:
-					failures.Add(1)
-				case strings.HasPrefix(got.Value, bqs.FabricatedValue):
-					violations.Add(1)
-				default:
-					reads.Add(1)
+				if record(true, got, err) {
+					return
 				}
 			}
 		}(id)
@@ -302,6 +343,67 @@ func Run(cluster *bqs.Cluster, w Workload) Counters {
 		Failures:     failures.Load(),
 		Violations:   violations.Load(),
 		Elapsed:      time.Since(start),
+	}
+}
+
+// runSession is Run's batched mode for one client: keep w.Batch
+// operations in flight through a Session, wait the window out, tally,
+// repeat. Window boundaries are also flush boundaries, so every frame
+// the batcher sends is as full as the workload allows.
+func runSession(runCtx context.Context, cl *bqs.Client, w Workload, id int,
+	keyOf func() int, record func(bool, bqs.TaggedValue, error) bool) {
+	sess := cl.NewSession(bqs.WithSessionBatch(w.Batch))
+	defer sess.Close()
+	type pendingOp struct {
+		read   bool
+		rf     *bqs.ReadFuture
+		wf     *bqs.WriteFuture
+		cancel context.CancelFunc
+	}
+	for op := 0; ; {
+		if w.Duration > 0 {
+			if runCtx.Err() != nil {
+				return
+			}
+		} else if op >= w.Ops {
+			return
+		}
+		k := w.Batch
+		if w.Duration <= 0 && w.Ops-op < k {
+			k = w.Ops - op
+		}
+		window := make([]pendingOp, 0, k)
+		for j := 0; j < k; j++ {
+			key := KeyName(w.Keys, keyOf())
+			opCtx, cancel := runCtx, context.CancelFunc(func() {})
+			if w.Timeout > 0 {
+				opCtx, cancel = context.WithTimeout(runCtx, w.Timeout)
+			}
+			if (id+op+j)%2 == 0 {
+				window = append(window, pendingOp{
+					wf:     sess.WriteAsync(opCtx, key, fmt.Sprintf("c%d-op%04d", id, op+j)),
+					cancel: cancel,
+				})
+			} else {
+				window = append(window, pendingOp{read: true, rf: sess.ReadAsync(opCtx, key), cancel: cancel})
+			}
+		}
+		op += k
+		stop := false
+		for _, p := range window {
+			if p.read {
+				got, err := p.rf.Wait()
+				p.cancel()
+				stop = record(true, got, err) || stop
+				continue
+			}
+			err := p.wf.Wait()
+			p.cancel()
+			stop = record(false, bqs.TaggedValue{}, err) || stop
+		}
+		if stop {
+			return
+		}
 	}
 }
 

@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// KeyDist is the CLI's -key-dist spec: how a workload spreads operations
+// over its key space. Supported forms are "uniform" and "zipf:S" with
+// exponent S > 1 (e.g. "zipf:1.1"), the standard skewed-popularity
+// model. The paper's load measure (Definition 3.8) is per quorum access
+// and key-oblivious, so measured load must converge to L(Q) under ANY
+// key distribution — the zipf forms exist to verify exactly that under
+// heavy skew.
+type KeyDist struct {
+	Kind string  // "uniform" or "zipf"
+	S    float64 // zipf exponent; meaningful when Kind == "zipf"
+}
+
+// ParseKeyDist parses "uniform" or "zipf:S" (S > 1).
+func ParseKeyDist(spec string) (KeyDist, error) {
+	switch {
+	case spec == "" || spec == "uniform":
+		return KeyDist{Kind: "uniform"}, nil
+	case strings.HasPrefix(spec, "zipf:"):
+		s, err := strconv.ParseFloat(strings.TrimPrefix(spec, "zipf:"), 64)
+		if err != nil {
+			return KeyDist{}, fmt.Errorf("bad zipf exponent in %q: %v", spec, err)
+		}
+		if s <= 1 {
+			return KeyDist{}, fmt.Errorf("zipf exponent %g must be > 1", s)
+		}
+		return KeyDist{Kind: "zipf", S: s}, nil
+	}
+	return KeyDist{}, fmt.Errorf("unknown key distribution %q (want uniform or zipf:S)", spec)
+}
+
+// String formats the distribution as its CLI spec.
+func (d KeyDist) String() string {
+	if d.Kind == "zipf" {
+		return fmt.Sprintf("zipf:%g", d.S)
+	}
+	return "uniform"
+}
+
+// Sampler returns a draw function over key indices [0, keys). keys ≤ 1
+// always draws 0. The zipf sampler is rank-ordered: key 0 is the hottest.
+func (d KeyDist) Sampler(keys int, rng *rand.Rand) func() int {
+	if keys <= 1 {
+		return func() int { return 0 }
+	}
+	if d.Kind == "zipf" {
+		z := rand.NewZipf(rng, d.S, 1, uint64(keys-1))
+		return func() int { return int(z.Uint64()) }
+	}
+	return func() int { return rng.Intn(keys) }
+}
+
+// KeyName formats key index i as the workload's register key. Keys ≤ 0
+// map everything to the DefaultKey register, preserving the original
+// single-object workload.
+func KeyName(keys, i int) string {
+	if keys <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("k%04d", i)
+}

@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrSessionClosed is returned by session operations issued after Close.
+var ErrSessionClosed = errors.New("sim: session closed")
+
+// batcher coalesces concurrently-issued probes destined for the same
+// place into one transport frame. It implements Transport, so the client
+// protocol code is oblivious to it: a probe enqueues and waits; the queue
+// flushes when it reaches the batch size or when the linger expires,
+// whichever is first, and the whole frame travels through
+// Cluster.invokeBatch (one round trip, per-item load accounting).
+//
+// Grouping is per destination server by default; a transport that knows
+// several servers share a frame — wire.Client, whose shards each host
+// many replicas — exposes BatchGrouper and gets per-shard coalescing, so
+// one TCP frame carries probes for every replica of the shard.
+type batcher struct {
+	c        *Cluster
+	maxBatch int
+	linger   time.Duration
+	group    func(server int) int
+	// inflight reports how many session operations are currently live,
+	// and lowers the flush threshold to it: with k operations in flight
+	// a queue holding k probes already has company from every operation
+	// that could be in this wave, so flushing then trades some frame
+	// fullness (an operation can contribute SEVERAL probes to one group
+	// per phase — one per quorum member the group hosts — so the true
+	// wave can be larger) for never stalling a wave on the linger. The
+	// linger remains the fallback for waves where some operations skip
+	// this group. nil means no such signal (flush on maxBatch or linger
+	// only).
+	inflight func() int
+
+	mu     sync.Mutex
+	queues map[int]*batchQueue
+	closed bool
+}
+
+// batchQueue is the pending frame for one destination group.
+type batchQueue struct {
+	items   []BatchItem
+	waiters []chan batchResult // index-aligned with items; each buffered(1)
+	timer   *time.Timer        // armed while the queue lingers non-empty
+}
+
+// batchResult is what a flushed frame hands each waiter.
+type batchResult struct {
+	resp Response
+	err  error
+}
+
+// newBatcher wires a batcher to the cluster's transport. maxBatch ≤ 1
+// still batches correctly — every probe just flushes as a frame of one.
+func newBatcher(c *Cluster, maxBatch int, linger time.Duration) *batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	b := &batcher{
+		c:        c,
+		maxBatch: maxBatch,
+		linger:   linger,
+		queues:   make(map[int]*batchQueue),
+	}
+	if g, ok := c.transport.(BatchGrouper); ok {
+		b.group = g.GroupOf
+	} else {
+		b.group = func(server int) int { return server }
+	}
+	return b
+}
+
+// Invoke implements Transport: enqueue the probe for its destination
+// group and wait for the frame carrying it to come back. The frame
+// itself travels under a background context — it aggregates probes from
+// operations with unrelated deadlines, so no single operation's
+// cancellation may abort it — while each waiter still honors its own ctx.
+func (b *batcher) Invoke(ctx context.Context, server int, req Request) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
+	ch := make(chan batchResult, 1)
+	g := b.group(server)
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return Response{}, ErrSessionClosed
+	}
+	q := b.queues[g]
+	if q == nil {
+		q = &batchQueue{}
+		b.queues[g] = q
+	}
+	q.items = append(q.items, BatchItem{Server: server, Req: req})
+	q.waiters = append(q.waiters, ch)
+	full := b.maxBatch
+	if b.inflight != nil {
+		if live := b.inflight(); live < full {
+			full = live
+		}
+		if full < 1 {
+			full = 1
+		}
+	}
+	switch {
+	case len(q.items) >= full:
+		items, waiters := q.take()
+		b.mu.Unlock()
+		// Flush on a fresh goroutine, never synchronously in the issuing
+		// probe's: the frame travels under a background context, and a
+		// probe stuck inside a stalled flush would never reach the ctx
+		// select below — its operation's deadline would silently stop
+		// working the moment it triggered a flush.
+		go b.flush(items, waiters)
+	case len(q.items) == 1 && b.linger > 0:
+		q.timer = time.AfterFunc(b.linger, func() { b.flushGroup(g) })
+		b.mu.Unlock()
+	case b.linger <= 0:
+		// No linger: nothing later will flush this queue, so it must go
+		// now (a frame of one — the degenerate unbatched configuration).
+		items, waiters := q.take()
+		b.mu.Unlock()
+		go b.flush(items, waiters)
+	default:
+		b.mu.Unlock()
+	}
+
+	select {
+	case r := <-ch:
+		return r.resp, r.err
+	case <-ctx.Done():
+		// The probe stays in the frame (the flusher's send is buffered and
+		// never blocks); only this waiter gives up.
+		return Response{}, ctx.Err()
+	}
+}
+
+// take empties the queue, handing ownership of the pending frame to the
+// caller, and disarms the linger timer.
+func (q *batchQueue) take() ([]BatchItem, []chan batchResult) {
+	items, waiters := q.items, q.waiters
+	q.items, q.waiters = nil, nil
+	if q.timer != nil {
+		q.timer.Stop()
+		q.timer = nil
+	}
+	return items, waiters
+}
+
+// flushGroup is the linger-expiry path: flush whatever the group has
+// accumulated.
+func (b *batcher) flushGroup(g int) {
+	b.mu.Lock()
+	q := b.queues[g]
+	if q == nil || len(q.items) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	items, waiters := q.take()
+	b.mu.Unlock()
+	b.flush(items, waiters)
+}
+
+// flush sends one frame and distributes its responses to the waiters.
+func (b *batcher) flush(items []BatchItem, waiters []chan batchResult) {
+	resps, err := b.c.invokeBatch(context.Background(), items)
+	for i, ch := range waiters {
+		r := batchResult{err: err}
+		if err == nil {
+			r.resp = resps[i]
+		}
+		ch <- r // buffered; an abandoned waiter never blocks the flusher
+	}
+}
+
+// close flushes anything still pending and refuses further probes.
+func (b *batcher) close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	type pending struct {
+		items   []BatchItem
+		waiters []chan batchResult
+	}
+	var rest []pending
+	for _, q := range b.queues {
+		if len(q.items) > 0 {
+			items, waiters := q.take()
+			rest = append(rest, pending{items, waiters})
+		}
+	}
+	b.mu.Unlock()
+	for _, p := range rest {
+		b.flush(p.items, p.waiters)
+	}
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"bqs/internal/bitset"
+)
+
+// clientCore is the per-client state both protocol clients share —
+// Client (masking) and DisseminationClient (self-verifying data) embed
+// it. The mutex guards only the rng, the suspicion set and the per-key
+// sequence floors, so operations on one client genuinely overlap; the
+// invariants enforced here (per-server suspicion bookkeeping, distinct
+// timestamps for concurrent same-key writes) exist once, not once per
+// protocol.
+type clientCore struct {
+	id      int
+	cluster *Cluster
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	suspected *suspicion       // servers observed unresponsive, with ages
+	lastSeq   map[string]int64 // per-key floor so concurrent same-client writes get distinct timestamps
+}
+
+func newClientCore(c *Cluster, id int) clientCore {
+	return clientCore{
+		id:        id,
+		cluster:   c,
+		rng:       c.clientRNG(id),
+		suspected: newSuspicion(c.N()),
+		lastSeq:   make(map[string]int64),
+	}
+}
+
+// pickQuorumTTL picks a quorum avoiding suspects — through the cluster's
+// picker, so selection follows the installed access strategy when one is
+// configured. Rehabilitation is per-server (see suspicion): suspects
+// older than ttl are optimistically forgiven, and when suspicion
+// exhausts the quorum space each suspect is probed once and only the
+// responders readmitted — a genuinely dead server stays suspected, and
+// if no suspect responds the error wraps ErrNoLiveQuorum: the system has
+// crashed (Definition 3.10) as far as this client can see.
+func (cc *clientCore) pickQuorumTTL(ctx context.Context, ttl time.Duration) (bitset.Set, error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	cc.suspected.ttl = ttl
+	return cc.cluster.pickQuorum(ctx, cc.rng, cc.suspected, cc.id)
+}
+
+// noteReplies records unresponsive quorum members in the client's
+// suspicion state and reports whether the whole quorum answered.
+func (cc *clientCore) noteReplies(replies map[int]Response) bool {
+	ok := true
+	cc.mu.Lock()
+	for id, resp := range replies {
+		if !resp.OK {
+			cc.suspected.suspect(id)
+			ok = false
+		}
+	}
+	cc.mu.Unlock()
+	return ok
+}
+
+// nextTS mints the write timestamp: one past the largest timestamp
+// observed in phase 1, bumped past every timestamp this client already
+// minted for the key. The floor is what keeps CONCURRENT writes by one
+// client to one key from colliding — both may observe the same quorum
+// maximum, and (Seq, Writer) pairs must stay unique per value or the
+// vouching rules could count votes for two different values under one
+// timestamp.
+func (cc *clientCore) nextTS(key string, observed Timestamp) Timestamp {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	seq := observed.Seq + 1
+	if floor := cc.lastSeq[key]; seq <= floor {
+		seq = floor + 1
+	}
+	cc.lastSeq[key] = seq
+	return Timestamp{Seq: seq, Writer: cc.id}
+}

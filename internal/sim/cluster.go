@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -335,18 +334,47 @@ func (c *Cluster) invoke(ctx context.Context, server int, req Request) (Response
 	return c.transport.Invoke(ctx, server, req)
 }
 
+// invokeBatch routes a whole frame of probes through the transport,
+// counting each item toward the load profile — batching changes how many
+// frames travel, never how many quorum accesses are charged, so the
+// measured load stays the Definition 3.8 quantity. Transports without a
+// batch fast path are driven item by item.
+func (c *Cluster) invokeBatch(ctx context.Context, items []BatchItem) ([]Response, error) {
+	for _, it := range items {
+		c.accesses[it.Server].Add(1)
+	}
+	if bt, ok := c.transport.(BatchTransport); ok {
+		return bt.InvokeBatch(ctx, items)
+	}
+	out := make([]Response, len(items))
+	for i, it := range items {
+		resp, err := c.transport.Invoke(ctx, it.Server, it.Req)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = resp
+	}
+	return out, nil
+}
+
 // probeQuorum sends req to every member of q — in parallel goroutines, or
 // sequentially in ascending order under WithDeterministic — and returns
-// the responses by server id. The only error it returns is a transport
-// failure (typically ctx cancellation or expiry); unresponsive servers
-// appear as Response{OK: false}.
-func (c *Cluster) probeQuorum(ctx context.Context, q bitset.Set, req Request) (map[int]Response, error) {
+// the responses by server id. Probes travel through via when it is
+// non-nil (the session batcher) and through the cluster's own counting
+// path otherwise. The only error it returns is a transport failure
+// (typically ctx cancellation or expiry); unresponsive servers appear as
+// Response{OK: false}.
+func (c *Cluster) probeQuorum(ctx context.Context, q bitset.Set, req Request, via Transport) (map[int]Response, error) {
 	c.phases.Add(1)
+	invoke := c.invoke
+	if via != nil {
+		invoke = via.Invoke
+	}
 	members := q.Elements()
 	out := make(map[int]Response, len(members))
 	if c.sequential {
 		for _, i := range members {
-			resp, err := c.invoke(ctx, i, req)
+			resp, err := invoke(ctx, i, req)
 			if err != nil {
 				return nil, err
 			}
@@ -362,7 +390,7 @@ func (c *Cluster) probeQuorum(ctx context.Context, q bitset.Set, req Request) (m
 	results := make(chan result, len(members))
 	for _, i := range members {
 		go func(i int) {
-			resp, err := c.invoke(ctx, i, req)
+			resp, err := invoke(ctx, i, req)
 			results <- result{i, resp, err}
 		}(i)
 	}
@@ -390,14 +418,15 @@ func (c *Cluster) clientRNG(id int) *rand.Rand {
 	return rand.New(rand.NewSource(c.seed + (int64(id)+1)*-0x61c8864680b583eb))
 }
 
-// Client accesses the replicated variable through quorums. Each client
+// Client accesses the keyed object space through quorums. Each client
 // owns its rng and suspicion state, so distinct clients can run
 // concurrently without sharing anything but the cluster; a single Client
-// is additionally serialized by an internal mutex, so sharing one across
-// goroutines is safe (operations just queue).
+// is also safe to share across goroutines — its internal mutex guards
+// only the rng, suspicion and per-key sequence floors, so concurrent
+// operations on one client genuinely overlap (which is what lets a
+// Session pipeline many keyed operations at once).
 type Client struct {
-	id      int
-	cluster *Cluster
+	clientCore
 	// MaxRetries bounds quorum re-selection on unresponsiveness.
 	MaxRetries int
 	// SuspicionTTL ages the client's failure detector: a server suspected
@@ -407,10 +436,6 @@ type Client struct {
 	// through probe-on-forgive when it exhausts the quorum space. Set it
 	// for churn workloads, where servers recover and must regain traffic.
 	SuspicionTTL time.Duration
-
-	mu        sync.Mutex
-	rng       *rand.Rand
-	suspected *suspicion // servers observed unresponsive, with ages
 }
 
 // Protocol errors.
@@ -425,40 +450,40 @@ var (
 
 // NewClient attaches a client to the cluster.
 func (c *Cluster) NewClient(id int) *Client {
-	return &Client{
-		id:         id,
-		cluster:    c,
-		MaxRetries: 32,
-		rng:        c.clientRNG(id),
-		suspected:  newSuspicion(c.N()),
-	}
+	return &Client{clientCore: newClientCore(c, id), MaxRetries: 32}
 }
 
-// quorumOrForgive picks a quorum avoiding suspects — through the
-// cluster's picker, so selection follows the installed access strategy
-// when one is configured. Rehabilitation is per-server (see suspicion):
-// suspects older than SuspicionTTL are optimistically forgiven, and when
-// suspicion exhausts the quorum space each suspect is probed once and
-// only the responders readmitted — a genuinely dead server stays
-// suspected, and if no suspect responds the error wraps ErrNoLiveQuorum:
-// the system has crashed (Definition 3.10) as far as this client can see.
+// quorumOrForgive picks a quorum avoiding suspects, with the client's
+// SuspicionTTL driving rehabilitation; see clientCore.pickQuorumTTL for
+// the full contract.
 func (cl *Client) quorumOrForgive(ctx context.Context) (bitset.Set, error) {
-	cl.suspected.ttl = cl.SuspicionTTL
-	return cl.cluster.pickQuorum(ctx, cl.rng, cl.suspected, cl.id)
+	return cl.pickQuorumTTL(ctx, cl.SuspicionTTL)
 }
 
-// Write performs the [MR98a] write: obtain a timestamp greater than any in
-// some quorum, then store (value, ts) at every member of a quorum. It
-// returns as soon as ctx is done, with an error wrapping ctx.Err().
+// Write performs the [MR98a] write on the DefaultKey register — the
+// original single-object API, now a thin wrapper over WriteKey.
 func (cl *Client) Write(ctx context.Context, value string) error {
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
+	return cl.WriteKey(ctx, DefaultKey, value)
+}
+
+// WriteKey performs the [MR98a] write on key's register: obtain a
+// timestamp greater than any vouched in some quorum, then store
+// (value, ts) at every member of a quorum. Timestamps are per key, so
+// the protocol's safety argument applies to each key independently. It
+// returns as soon as ctx is done, with an error wrapping ctx.Err().
+func (cl *Client) WriteKey(ctx context.Context, key, value string) error {
+	return cl.writeKey(ctx, key, value, nil)
+}
+
+// writeKey is WriteKey with an explicit probe route (nil = the cluster's
+// counting transport; a Session passes its batcher).
+func (cl *Client) writeKey(ctx context.Context, key, value string, via Transport) error {
 	// Phase 1: read timestamps from a quorum.
-	maxTS, err := cl.maxTimestamp(ctx)
+	maxTS, err := cl.maxTimestamp(ctx, key, via)
 	if err != nil {
 		return fmt.Errorf("sim: write: %w", err)
 	}
-	tv := TaggedValue{Value: value, TS: Timestamp{Seq: maxTS.Seq + 1, Writer: cl.id}}
+	tv := TaggedValue{Value: value, TS: cl.nextTS(key, maxTS)}
 	// Phase 2: push to every member of a quorum; on unresponsive members,
 	// suspect them and retry with a fresh quorum.
 	for attempt := 0; attempt < cl.MaxRetries; attempt++ {
@@ -466,35 +491,28 @@ func (cl *Client) Write(ctx context.Context, value string) error {
 		if err != nil {
 			return fmt.Errorf("sim: write: %w", err)
 		}
-		replies, err := cl.cluster.probeQuorum(ctx, q, Request{Op: OpWrite, Value: tv})
+		replies, err := cl.cluster.probeQuorum(ctx, q, Request{Op: OpWrite, Key: key, Value: tv}, via)
 		if err != nil {
 			return fmt.Errorf("sim: write: %w", err)
 		}
-		ok := true
-		for id, resp := range replies {
-			if !resp.OK {
-				cl.suspected.suspect(id)
-				ok = false
-			}
-		}
-		if ok {
+		if cl.noteReplies(replies) {
 			return nil
 		}
 	}
 	return fmt.Errorf("sim: write: %w", ErrRetriesExhausted)
 }
 
-// maxTimestamp collects timestamps from a full quorum. Byzantine servers
-// may report inflated timestamps; that only pushes the clock forward,
-// which is harmless for safety (MR98a discusses bounding this; we accept
-// it as the paper's protocol does).
-func (cl *Client) maxTimestamp(ctx context.Context) (Timestamp, error) {
+// maxTimestamp collects key's timestamps from a full quorum. Byzantine
+// servers may report inflated timestamps; that only pushes the clock
+// forward, which is harmless for safety (MR98a discusses bounding this;
+// we accept it as the paper's protocol does).
+func (cl *Client) maxTimestamp(ctx context.Context, key string, via Transport) (Timestamp, error) {
 	for attempt := 0; attempt < cl.MaxRetries; attempt++ {
 		q, err := cl.quorumOrForgive(ctx)
 		if err != nil {
 			return Timestamp{}, err
 		}
-		replies, err := cl.cluster.probeQuorum(ctx, q, Request{Op: OpReadTimestamps, ReaderID: cl.id})
+		replies, err := cl.cluster.probeQuorum(ctx, q, Request{Op: OpReadTimestamps, Key: key, ReaderID: cl.id}, via)
 		if err != nil {
 			return Timestamp{}, err
 		}
@@ -502,14 +520,11 @@ func (cl *Client) maxTimestamp(ctx context.Context) (Timestamp, error) {
 		// only timestamps vouched by b+1 members — the same masking rule
 		// reads use.
 		votes := make(map[Timestamp]int)
-		complete := true
-		for id, resp := range replies {
-			if !resp.OK {
-				cl.suspected.suspect(id)
-				complete = false
-				continue
+		complete := cl.noteReplies(replies)
+		for _, resp := range replies {
+			if resp.OK {
+				votes[resp.Value.TS]++
 			}
-			votes[resp.Value.TS]++
 		}
 		if !complete {
 			continue
@@ -537,34 +552,39 @@ func (cl *Client) maxTimestamp(ctx context.Context) (Timestamp, error) {
 	return Timestamp{}, ErrRetriesExhausted
 }
 
-// Read performs the [MR98a] masking read: gather answers from a quorum in
-// parallel, keep pairs vouched for by ≥ b+1 members, return the one with
-// the highest timestamp. It returns as soon as ctx is done, with an error
-// wrapping ctx.Err().
+// Read performs the [MR98a] masking read on the DefaultKey register — the
+// original single-object API, now a thin wrapper over ReadKey.
 func (cl *Client) Read(ctx context.Context) (TaggedValue, error) {
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
+	return cl.ReadKey(ctx, DefaultKey)
+}
+
+// ReadKey performs the [MR98a] masking read on key's register: gather
+// answers from a quorum in parallel, keep pairs vouched for by ≥ b+1
+// members, return the one with the highest timestamp. It returns as soon
+// as ctx is done, with an error wrapping ctx.Err().
+func (cl *Client) ReadKey(ctx context.Context, key string) (TaggedValue, error) {
+	return cl.readKey(ctx, key, nil)
+}
+
+// readKey is ReadKey with an explicit probe route (nil = the cluster's
+// counting transport; a Session passes its batcher).
+func (cl *Client) readKey(ctx context.Context, key string, via Transport) (TaggedValue, error) {
 	for attempt := 0; attempt < cl.MaxRetries; attempt++ {
 		q, err := cl.quorumOrForgive(ctx)
 		if err != nil {
 			return TaggedValue{}, fmt.Errorf("sim: read: %w", err)
 		}
-		replies, err := cl.cluster.probeQuorum(ctx, q, Request{Op: OpRead, ReaderID: cl.id})
+		replies, err := cl.cluster.probeQuorum(ctx, q, Request{Op: OpRead, Key: key, ReaderID: cl.id}, via)
 		if err != nil {
 			return TaggedValue{}, fmt.Errorf("sim: read: %w", err)
 		}
-		votes := make(map[TaggedValue]int)
-		complete := true
-		for id, resp := range replies {
-			if !resp.OK {
-				cl.suspected.suspect(id)
-				complete = false
-				continue
-			}
-			votes[resp.Value]++
-		}
+		complete := cl.noteReplies(replies)
 		if !complete {
 			continue
+		}
+		votes := make(map[TaggedValue]int)
+		for _, resp := range replies {
+			votes[resp.Value]++
 		}
 		best, found := TaggedValue{}, false
 		for tv, n := range votes {

@@ -115,7 +115,7 @@ func TestConcurrentDisseminationClients(t *testing.T) {
 					t.Errorf("client %d: %v", id, err)
 					return
 				}
-				if err == nil && got.Value != "" && !auth.Verify(got) {
+				if err == nil && got.Value != "" && !auth.Verify(DefaultKey, got) {
 					t.Errorf("client %d read unverified %q", id, got.Value)
 					return
 				}

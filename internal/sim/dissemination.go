@@ -3,7 +3,6 @@ package sim
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
@@ -17,46 +16,57 @@ import (
 // b+1 servers — enough that at least one CORRECT server lies in every
 // intersection and relays the newest authentic value; fabricated values
 // simply fail verification. We simulate unforgeability with an
-// authenticator registry: writers register the exact (value, timestamp)
-// pairs they produce, and readers accept only registered pairs.
+// authenticator registry: writers register the exact (key, value,
+// timestamp) triples they produce, and readers accept only registered
+// triples. Binding the key into the signature matters in the keyed data
+// plane: without it a Byzantine server could replay key A's legitimately
+// signed value as an answer for key B, and the replay would verify.
 
-// Authenticator is the stand-in for a signature scheme: values registered
-// by writers verify; anything else does not. It is shared by all clients
-// of a cluster (like a public-key directory).
+// signedEntry is the unit the simulated signature covers: the register
+// key plus the tagged value, so a signature for one key cannot vouch for
+// another key's state.
+type signedEntry struct {
+	Key string
+	TV  TaggedValue
+}
+
+// Authenticator is the stand-in for a signature scheme: (key, value)
+// pairs registered by writers verify; anything else does not. It is
+// shared by all clients of a cluster (like a public-key directory).
 type Authenticator struct {
 	mu     sync.Mutex
-	signed map[TaggedValue]struct{}
+	signed map[signedEntry]struct{}
 }
 
 // NewAuthenticator returns an empty registry.
 func NewAuthenticator() *Authenticator {
-	return &Authenticator{signed: make(map[TaggedValue]struct{})}
+	return &Authenticator{signed: make(map[signedEntry]struct{})}
 }
 
-// Sign registers a value as authentic.
-func (a *Authenticator) Sign(tv TaggedValue) {
+// Sign registers a value as authentic for key.
+func (a *Authenticator) Sign(key string, tv TaggedValue) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.signed[tv] = struct{}{}
+	a.signed[signedEntry{key, tv}] = struct{}{}
 }
 
-// Verify reports whether tv was produced by a legitimate writer.
-func (a *Authenticator) Verify(tv TaggedValue) bool {
+// Verify reports whether tv was produced by a legitimate writer for key.
+func (a *Authenticator) Verify(key string, tv TaggedValue) bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	_, ok := a.signed[tv]
+	_, ok := a.signed[signedEntry{key, tv}]
 	return ok
 }
 
-// DisseminationClient accesses the replicated variable with the
+// DisseminationClient accesses the keyed object space with the
 // dissemination protocol: reads return the highest-timestamped VERIFIED
 // value from a quorum, with no b+1 vouching requirement. It needs the
-// quorum system to have IS ≥ b+1 rather than 2b+1. Like Client, it owns
-// its rng and suspicion state and serializes its own operations, so any
-// number of dissemination clients can run concurrently.
+// quorum system to have IS ≥ b+1 rather than 2b+1. Like Client (the two
+// share clientCore), it owns its rng and suspicion state, guards them
+// with a fine-grained mutex, and is safe for concurrent operations — on
+// its own or through a Session.
 type DisseminationClient struct {
-	id   int
-	c    *Cluster
+	clientCore
 	auth *Authenticator
 	// MaxRetries bounds quorum re-selection on unresponsiveness.
 	MaxRetries int
@@ -64,86 +74,71 @@ type DisseminationClient struct {
 	// zero disables aging, a positive value lets recovered servers regain
 	// traffic after at most that long.
 	SuspicionTTL time.Duration
-
-	mu        sync.Mutex
-	rng       *rand.Rand
-	suspected *suspicion
 }
 
 // NewDisseminationClient attaches a dissemination-protocol client.
 func (c *Cluster) NewDisseminationClient(id int, auth *Authenticator) *DisseminationClient {
-	return &DisseminationClient{
-		id: id, c: c, auth: auth,
-		MaxRetries: 32,
-		rng:        c.clientRNG(id),
-		suspected:  newSuspicion(c.N()),
-	}
+	return &DisseminationClient{clientCore: newClientCore(c, id), auth: auth, MaxRetries: 32}
 }
 
-// quorumOrForgive mirrors Client.quorumOrForgive: selection goes through
-// the cluster's picker (strategy-aware when one is installed), with
-// per-server rehabilitation — TTL aging plus probe-on-forgive when
-// suspicion exhausts the quorum space; see suspicion and
-// Cluster.pickQuorum for the full contract.
+// quorumOrForgive mirrors Client.quorumOrForgive; see
+// clientCore.pickQuorumTTL for the full rehabilitation contract.
 func (dc *DisseminationClient) quorumOrForgive(ctx context.Context) (bitset.Set, error) {
-	dc.suspected.ttl = dc.SuspicionTTL
-	return dc.c.pickQuorum(ctx, dc.rng, dc.suspected, dc.id)
+	return dc.pickQuorumTTL(ctx, dc.SuspicionTTL)
 }
 
-// Write signs (value, ts) and stores it at every member of a quorum. The
-// timestamp phase accepts the max VERIFIED timestamp seen — Byzantine
-// servers cannot inflate the clock because they cannot sign.
+// Write signs and stores a value under the DefaultKey register — the
+// original single-object API, now a thin wrapper over WriteKey.
 func (dc *DisseminationClient) Write(ctx context.Context, value string) error {
-	dc.mu.Lock()
-	defer dc.mu.Unlock()
-	maxTS, err := dc.maxVerifiedTimestamp(ctx)
+	return dc.WriteKey(ctx, DefaultKey, value)
+}
+
+// WriteKey signs (key, value, ts) and stores it at every member of a
+// quorum. The timestamp phase accepts the max VERIFIED timestamp seen —
+// Byzantine servers cannot inflate the clock because they cannot sign.
+func (dc *DisseminationClient) WriteKey(ctx context.Context, key, value string) error {
+	return dc.writeKey(ctx, key, value, nil)
+}
+
+// writeKey is WriteKey with an explicit probe route (nil = the cluster's
+// counting transport; a Session passes its batcher).
+func (dc *DisseminationClient) writeKey(ctx context.Context, key, value string, via Transport) error {
+	maxTS, err := dc.maxVerifiedTimestamp(ctx, key, via)
 	if err != nil {
 		return fmt.Errorf("sim: dissemination write: %w", err)
 	}
-	tv := TaggedValue{Value: value, TS: Timestamp{Seq: maxTS.Seq + 1, Writer: dc.id}}
-	dc.auth.Sign(tv)
+	tv := TaggedValue{Value: value, TS: dc.nextTS(key, maxTS)}
+	dc.auth.Sign(key, tv)
 	for attempt := 0; attempt < dc.MaxRetries; attempt++ {
 		q, err := dc.quorumOrForgive(ctx)
 		if err != nil {
 			return fmt.Errorf("sim: dissemination write: %w", err)
 		}
-		replies, err := dc.c.probeQuorum(ctx, q, Request{Op: OpWrite, Value: tv})
+		replies, err := dc.cluster.probeQuorum(ctx, q, Request{Op: OpWrite, Key: key, Value: tv}, via)
 		if err != nil {
 			return fmt.Errorf("sim: dissemination write: %w", err)
 		}
-		ok := true
-		for id, resp := range replies {
-			if !resp.OK {
-				dc.suspected.suspect(id)
-				ok = false
-			}
-		}
-		if ok {
+		if dc.noteReplies(replies) {
 			return nil
 		}
 	}
 	return fmt.Errorf("sim: dissemination write: %w", ErrRetriesExhausted)
 }
 
-func (dc *DisseminationClient) maxVerifiedTimestamp(ctx context.Context) (Timestamp, error) {
+func (dc *DisseminationClient) maxVerifiedTimestamp(ctx context.Context, key string, via Transport) (Timestamp, error) {
 	for attempt := 0; attempt < dc.MaxRetries; attempt++ {
 		q, err := dc.quorumOrForgive(ctx)
 		if err != nil {
 			return Timestamp{}, err
 		}
-		replies, err := dc.c.probeQuorum(ctx, q, Request{Op: OpReadTimestamps, ReaderID: dc.id})
+		replies, err := dc.cluster.probeQuorum(ctx, q, Request{Op: OpReadTimestamps, Key: key, ReaderID: dc.id}, via)
 		if err != nil {
 			return Timestamp{}, err
 		}
+		complete := dc.noteReplies(replies)
 		var max Timestamp
-		complete := true
-		for id, resp := range replies {
-			if !resp.OK {
-				dc.suspected.suspect(id)
-				complete = false
-				continue
-			}
-			if dc.auth.Verify(resp.Value) && max.Less(resp.Value.TS) {
+		for _, resp := range replies {
+			if resp.OK && dc.auth.Verify(key, resp.Value) && max.Less(resp.Value.TS) {
 				max = resp.Value.TS
 			}
 		}
@@ -154,31 +149,38 @@ func (dc *DisseminationClient) maxVerifiedTimestamp(ctx context.Context) (Timest
 	return Timestamp{}, ErrRetriesExhausted
 }
 
-// Read returns the highest-timestamped verified value found in a quorum.
-// With IS ≥ b+1 every read quorum shares a correct server with the last
-// write quorum, so the newest authentic value is always present.
+// Read returns the highest-timestamped verified value of the DefaultKey
+// register — the original single-object API, now a wrapper over ReadKey.
 func (dc *DisseminationClient) Read(ctx context.Context) (TaggedValue, error) {
-	dc.mu.Lock()
-	defer dc.mu.Unlock()
+	return dc.ReadKey(ctx, DefaultKey)
+}
+
+// ReadKey returns the highest-timestamped verified value found in a
+// quorum for key. With IS ≥ b+1 every read quorum shares a correct server
+// with the last write quorum, so the newest authentic value is always
+// present; values signed for other keys fail verification, which is what
+// stops cross-key replay.
+func (dc *DisseminationClient) ReadKey(ctx context.Context, key string) (TaggedValue, error) {
+	return dc.readKey(ctx, key, nil)
+}
+
+// readKey is ReadKey with an explicit probe route (nil = the cluster's
+// counting transport; a Session passes its batcher).
+func (dc *DisseminationClient) readKey(ctx context.Context, key string, via Transport) (TaggedValue, error) {
 	for attempt := 0; attempt < dc.MaxRetries; attempt++ {
 		q, err := dc.quorumOrForgive(ctx)
 		if err != nil {
 			return TaggedValue{}, fmt.Errorf("sim: dissemination read: %w", err)
 		}
-		replies, err := dc.c.probeQuorum(ctx, q, Request{Op: OpRead, ReaderID: dc.id})
+		replies, err := dc.cluster.probeQuorum(ctx, q, Request{Op: OpRead, Key: key, ReaderID: dc.id}, via)
 		if err != nil {
 			return TaggedValue{}, fmt.Errorf("sim: dissemination read: %w", err)
 		}
+		complete := dc.noteReplies(replies)
 		var best TaggedValue
 		found := false
-		complete := true
-		for id, resp := range replies {
-			if !resp.OK {
-				dc.suspected.suspect(id)
-				complete = false
-				continue
-			}
-			if dc.auth.Verify(resp.Value) {
+		for _, resp := range replies {
+			if resp.OK && dc.auth.Verify(key, resp.Value) {
 				if !found || best.TS.Less(resp.Value.TS) {
 					best, found = resp.Value, true
 				}

@@ -1,14 +1,16 @@
 // Package sim is the distributed substrate the paper's quorum systems are
-// built for: an in-memory replicated shared variable served by n servers,
-// accessed through a b-masking quorum system with the read/write protocol
-// of [MR98a]. Clients write a timestamped value to every member of a
-// quorum; readers collect answers from a quorum and accept only
-// value/timestamp pairs vouched for by at least b+1 members, which the
-// 2b+1-intersection property guarantees filters out anything fabricated by
-// at most b Byzantine servers. Fault injection covers crashes (silent
-// servers) and several Byzantine behaviors (fabrication, stale replay,
-// equivocation), so tests can demonstrate both the protocol's guarantees
-// at ≤ b faults and its collapse past the 2b+1 bound.
+// built for: an in-memory keyed object space served by n servers, accessed
+// through a b-masking quorum system with the read/write protocol of
+// [MR98a] run independently per key. Clients write a timestamped value to
+// every member of a quorum; readers collect answers from a quorum and
+// accept only value/timestamp pairs vouched for by at least b+1 members,
+// which the 2b+1-intersection property guarantees filters out anything
+// fabricated by at most b Byzantine servers. Each key is its own register
+// with its own timestamp history, so the Theorem-safety invariant holds
+// key by key. Fault injection covers crashes (silent servers) and several
+// Byzantine behaviors (fabrication, stale replay, equivocation), so tests
+// can demonstrate both the protocol's guarantees at ≤ b faults and its
+// collapse past the 2b+1 bound.
 //
 // The access layer is a concurrent engine: clients take a context.Context,
 // fan probes out to quorum members in parallel goroutines through a
@@ -16,7 +18,11 @@
 // per-server latency), and any number of clients may run concurrently —
 // each owns its rng and suspicion state, and per-server access counters
 // feed Cluster.LoadProfile, the live-traffic counterpart of the paper's
-// load measure (Definition 3.8).
+// load measure (Definition 3.8). On top of the blocking single-key
+// Client.Read/Client.Write sits the Session API: ReadAsync/WriteAsync
+// futures whose quorum probes are coalesced per destination by a batcher
+// (flush on size or linger), so heavy multi-key traffic amortizes
+// transport round trips without changing the per-key protocol.
 package sim
 
 import (
@@ -120,24 +126,54 @@ func ParseBehavior(s string) (Behavior, error) {
 // never surface it while faults stay within b.
 const FabricatedValue = "FABRICATED"
 
-// Server is one replica of the shared variable.
+// DefaultKey is the key the single-register API (Client.Read,
+// Client.Write, Server.Snapshot) operates on. The keyed object space is a
+// strict superset of the original one-register data plane: the old API is
+// exactly the keyed API at this key.
+const DefaultKey = ""
+
+// register is one key's replicated state on one server: the [MR98a]
+// timestamped value plus the earliest write, which ByzantineStale replays.
+// Every key has an independent register, so the per-key timestamp protocol
+// keeps the masking invariant key by key.
+type register struct {
+	current  TaggedValue
+	first    TaggedValue
+	hasFirst bool
+}
+
+// Server is one replica of the keyed object space.
 type Server struct {
 	id int
 
 	mu       sync.Mutex
 	behavior Behavior
-	current  TaggedValue
-	first    TaggedValue // earliest write, replayed by ByzantineStale
-	hasFirst bool
+	regs     map[string]*register
 	reads    int // served read count, drives equivocation alternation
 	writes   int
 	// colludeTS lets a test coordinate fabricators on one fake timestamp.
 	colludeTS Timestamp
 }
 
-// NewServer returns a correct server with an empty register.
+// NewServer returns a correct server with an empty object space.
 func NewServer(id int) *Server {
-	return &Server{id: id, behavior: Correct, colludeTS: Timestamp{Seq: 1 << 40, Writer: -1}}
+	return &Server{
+		id:        id,
+		behavior:  Correct,
+		regs:      make(map[string]*register),
+		colludeTS: Timestamp{Seq: 1 << 40, Writer: -1},
+	}
+}
+
+// reg returns key's register, creating it when create is set; a read of a
+// never-written key sees the zero register without allocating state.
+func (s *Server) reg(key string, create bool) *register {
+	r := s.regs[key]
+	if r == nil && create {
+		r = &register{}
+		s.regs[key] = r
+	}
+	return r
 }
 
 // ID returns the server id.
@@ -157,10 +193,10 @@ func (s *Server) Behavior() Behavior {
 	return s.behavior
 }
 
-// HandleWrite applies a timestamped write. It returns false when the
-// server is unresponsive (crashed). Byzantine servers acknowledge but may
-// discard.
-func (s *Server) HandleWrite(tv TaggedValue) bool {
+// HandleWrite applies a timestamped write to key's register. It returns
+// false when the server is unresponsive (crashed). Byzantine servers
+// acknowledge but may discard.
+func (s *Server) HandleWrite(key string, tv TaggedValue) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch s.behavior {
@@ -171,19 +207,21 @@ func (s *Server) HandleWrite(tv TaggedValue) bool {
 		// are fabricated regardless).
 	}
 	s.writes++
-	if !s.hasFirst {
-		s.first = tv
-		s.hasFirst = true
+	r := s.reg(key, true)
+	if !r.hasFirst {
+		r.first = tv
+		r.hasFirst = true
 	}
-	if s.current.TS.Less(tv.TS) {
-		s.current = tv
+	if r.current.TS.Less(tv.TS) {
+		r.current = tv
 	}
 	return true
 }
 
-// HandleRead returns the server's answer to a read probe, and false when
-// unresponsive.
-func (s *Server) HandleRead(readerID int) (TaggedValue, bool) {
+// HandleRead returns the server's answer to a read probe of key's
+// register, and false when unresponsive. A never-written key reads as the
+// zero TaggedValue, like the empty register it is.
+func (s *Server) HandleRead(readerID int, key string) (TaggedValue, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.reads++
@@ -193,15 +231,18 @@ func (s *Server) HandleRead(readerID int) (TaggedValue, bool) {
 	case ByzantineFabricate:
 		return TaggedValue{Value: FabricatedValue, TS: s.colludeTS}, true
 	case ByzantineStale:
-		if s.hasFirst {
-			return s.first, true
+		if r := s.reg(key, false); r != nil && r.hasFirst {
+			return r.first, true
 		}
 		return TaggedValue{}, true
 	case ByzantineEquivocate:
 		v := fmt.Sprintf("%s-%d", FabricatedValue, s.reads%2)
 		return TaggedValue{Value: v, TS: Timestamp{Seq: s.colludeTS.Seq + int64(s.reads%2), Writer: -1}}, true
 	default:
-		return s.current, true
+		if r := s.reg(key, false); r != nil {
+			return r.current, true
+		}
+		return TaggedValue{}, true
 	}
 }
 
@@ -214,19 +255,38 @@ func (s *Server) HandleRead(readerID int) (TaggedValue, bool) {
 func (s *Server) HandleRequest(req Request) (Response, error) {
 	switch req.Op {
 	case OpRead, OpReadTimestamps:
-		tv, ok := s.HandleRead(req.ReaderID)
+		tv, ok := s.HandleRead(req.ReaderID, req.Key)
 		return Response{OK: ok, Value: tv}, nil
 	case OpWrite:
-		return Response{OK: s.HandleWrite(req.Value)}, nil
+		return Response{OK: s.HandleWrite(req.Key, req.Value)}, nil
 	default:
 		return Response{}, fmt.Errorf("sim: server %d: unknown %v", s.id, req.Op)
 	}
 }
 
-// Snapshot returns the faithfully stored value (for test assertions, not
-// part of the protocol).
-func (s *Server) Snapshot() TaggedValue {
+// Snapshot returns the faithfully stored value of the DefaultKey register
+// (for test assertions, not part of the protocol).
+func (s *Server) Snapshot() TaggedValue { return s.SnapshotKey(DefaultKey) }
+
+// SnapshotKey returns the faithfully stored value of key's register (for
+// test assertions, not part of the protocol).
+func (s *Server) SnapshotKey(key string) TaggedValue {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.current
+	if r := s.reg(key, false); r != nil {
+		return r.current
+	}
+	return TaggedValue{}
+}
+
+// Keys returns the keys this replica has faithfully stored at least one
+// write for, in no particular order (for test assertions).
+func (s *Server) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.regs))
+	for k := range s.regs {
+		out = append(out, k)
+	}
+	return out
 }

@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// sessionOps is what a Session needs from a client: the keyed protocol
+// operations with an explicit probe route. Client and
+// DisseminationClient both satisfy it, so one Session type serves both
+// protocols.
+type sessionOps interface {
+	readKey(ctx context.Context, key string, via Transport) (TaggedValue, error)
+	writeKey(ctx context.Context, key, value string, via Transport) error
+}
+
+// sessionConfig collects the Session functional options.
+type sessionConfig struct {
+	maxBatch int
+	linger   time.Duration
+}
+
+// Session batching defaults: frames flush at DefaultSessionBatch probes
+// or after DefaultSessionLinger, whichever comes first. The linger is
+// deliberately tiny — it only needs to be long enough for concurrently
+// issued operations to land in the same frame, and it bounds the latency
+// a lone probe pays for the chance to share one.
+const (
+	DefaultSessionBatch  = 32
+	DefaultSessionLinger = 50 * time.Microsecond
+)
+
+// SessionOption configures a Session at construction.
+type SessionOption func(*sessionConfig)
+
+// WithSessionBatch sets how many probes a destination's frame holds
+// before it flushes (default DefaultSessionBatch). 1 disables
+// coalescing: every probe travels alone, the unbatched baseline.
+func WithSessionBatch(n int) SessionOption {
+	return func(c *sessionConfig) {
+		if n > 0 {
+			c.maxBatch = n
+		}
+	}
+}
+
+// WithSessionLinger sets how long a non-full frame waits for company
+// before flushing (default DefaultSessionLinger). Zero flushes every
+// probe immediately.
+func WithSessionLinger(d time.Duration) SessionOption {
+	return func(c *sessionConfig) {
+		if d >= 0 {
+			c.linger = d
+		}
+	}
+}
+
+// Session is the asynchronous, batching face of a client: ReadAsync and
+// WriteAsync return immediately with futures, and the quorum probes of
+// every operation in flight are coalesced per destination into batched
+// transport frames (flush on size or linger). The protocol underneath is
+// exactly the client's — same per-key timestamps, same masking rule,
+// same suspicion handling — so batching changes throughput, never
+// semantics. The wrapped client's blocking calls remain usable while a
+// session is open; they simply bypass the batcher.
+//
+// A Session is safe for concurrent use. Close waits for in-flight
+// operations and flushes the batcher; operations issued after Close fail
+// with ErrSessionClosed.
+type Session struct {
+	ops sessionOps
+	b   *batcher
+
+	inflight atomic.Int64 // live operations; the batcher's wave size
+
+	mu     sync.Mutex
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewSession opens a batching session over the client.
+func (cl *Client) NewSession(opts ...SessionOption) *Session {
+	return newSession(cl, cl.cluster, opts)
+}
+
+// NewSession opens a batching session over the dissemination client.
+func (dc *DisseminationClient) NewSession(opts ...SessionOption) *Session {
+	return newSession(dc, dc.cluster, opts)
+}
+
+func newSession(ops sessionOps, c *Cluster, opts []SessionOption) *Session {
+	cfg := sessionConfig{maxBatch: DefaultSessionBatch, linger: DefaultSessionLinger}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	s := &Session{ops: ops, b: newBatcher(c, cfg.maxBatch, cfg.linger)}
+	s.b.inflight = func() int { return int(s.inflight.Load()) }
+	return s
+}
+
+// ReadFuture is the pending result of Session.ReadAsync.
+type ReadFuture struct {
+	done chan struct{}
+	tv   TaggedValue
+	err  error
+}
+
+// Wait blocks until the read completes and returns its result.
+func (f *ReadFuture) Wait() (TaggedValue, error) {
+	<-f.done
+	return f.tv, f.err
+}
+
+// Done returns a channel closed when the read has completed, for select
+// loops; after it closes, Wait returns immediately.
+func (f *ReadFuture) Done() <-chan struct{} { return f.done }
+
+// WriteFuture is the pending result of Session.WriteAsync.
+type WriteFuture struct {
+	done chan struct{}
+	err  error
+}
+
+// Wait blocks until the write completes and returns its error, if any.
+func (f *WriteFuture) Wait() error {
+	<-f.done
+	return f.err
+}
+
+// Done returns a channel closed when the write has completed, for select
+// loops; after it closes, Wait returns immediately.
+func (f *WriteFuture) Done() <-chan struct{} { return f.done }
+
+// begin registers one in-flight operation, refusing after Close.
+func (s *Session) begin() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.wg.Add(1)
+	s.inflight.Add(1)
+	return true
+}
+
+// done retires one in-flight operation.
+func (s *Session) done() {
+	s.inflight.Add(-1)
+	s.wg.Done()
+}
+
+// ReadAsync starts a masking read of key and returns its future. The
+// operation runs in its own goroutine; its probes ride the session's
+// batched frames alongside every other operation in flight.
+func (s *Session) ReadAsync(ctx context.Context, key string) *ReadFuture {
+	f := &ReadFuture{done: make(chan struct{})}
+	if !s.begin() {
+		f.err = ErrSessionClosed
+		close(f.done)
+		return f
+	}
+	go func() {
+		defer s.done()
+		f.tv, f.err = s.ops.readKey(ctx, key, s.b)
+		close(f.done)
+	}()
+	return f
+}
+
+// WriteAsync starts a write of (key, value) and returns its future. The
+// operation runs in its own goroutine; its probes ride the session's
+// batched frames alongside every other operation in flight.
+func (s *Session) WriteAsync(ctx context.Context, key, value string) *WriteFuture {
+	f := &WriteFuture{done: make(chan struct{})}
+	if !s.begin() {
+		f.err = ErrSessionClosed
+		close(f.done)
+		return f
+	}
+	go func() {
+		defer s.done()
+		f.err = s.ops.writeKey(ctx, key, value, s.b)
+		close(f.done)
+	}()
+	return f
+}
+
+// Read is the synchronous convenience form of ReadAsync: issue and wait.
+func (s *Session) Read(ctx context.Context, key string) (TaggedValue, error) {
+	return s.ReadAsync(ctx, key).Wait()
+}
+
+// Write is the synchronous convenience form of WriteAsync: issue and
+// wait.
+func (s *Session) Write(ctx context.Context, key, value string) error {
+	return s.WriteAsync(ctx, key, value).Wait()
+}
+
+// Close waits for in-flight operations to finish, flushes the batcher,
+// and marks the session closed. It is idempotent; operations issued
+// after Close fail with ErrSessionClosed.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.b.close()
+	return nil
+}

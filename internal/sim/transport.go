@@ -41,9 +41,12 @@ func (o Op) String() string {
 	}
 }
 
-// Request is a protocol message addressed to one server.
+// Request is a protocol message addressed to one server. Key names the
+// register the operation targets; the zero value (DefaultKey) is the
+// single-register key the original blocking API uses.
 type Request struct {
 	Op       Op
+	Key      string      // register the operation targets
 	ReaderID int         // client id, for OpReadTimestamps and OpRead
 	Value    TaggedValue // payload, for OpWrite
 }
@@ -67,6 +70,37 @@ type Response struct {
 // server and retry with a different quorum.
 type Transport interface {
 	Invoke(ctx context.Context, server int, req Request) (Response, error)
+}
+
+// BatchItem is one operation of a batched transport frame, addressed to
+// one server. A frame may carry items for different servers — over the
+// wire that means different replicas of the same shard share one frame,
+// and the receiving shard fans the items across its replicas.
+type BatchItem struct {
+	Server int
+	Req    Request
+}
+
+// BatchTransport is the optional fast path a Transport can offer the
+// session batcher: deliver a whole frame of operations in one call, with
+// responses aligned index-by-index with items. The contract mirrors
+// Invoke — unresponsiveness is Response{OK: false} per item (a dead
+// destination fails the whole frame that way, fast, as a unit), and the
+// error return is reserved for aborts. Transports without it still batch
+// correctly: the cluster falls back to per-item Invoke.
+type BatchTransport interface {
+	Transport
+	InvokeBatch(ctx context.Context, items []BatchItem) ([]Response, error)
+}
+
+// BatchGrouper is the optional coalescing hint a Transport can offer the
+// session batcher: GroupOf returns a stable identifier of the frame a
+// probe to the given server can share — the address's index for a
+// sharded TCP transport, so probes to different replicas of one shard
+// ride one frame. Without it the batcher groups per server, which is
+// always correct.
+type BatchGrouper interface {
+	GroupOf(server int) int
 }
 
 // memTransport is the built-in Transport: direct in-memory delivery to the
@@ -143,17 +177,76 @@ func (t *memTransport) Invoke(ctx context.Context, server int, req Request) (Res
 	if server < 0 || server >= len(t.servers) {
 		return Response{}, fmt.Errorf("sim: transport: server %d out of range [0,%d)", server, len(t.servers))
 	}
-	if t.latency != nil && t.latency[server] > 0 {
-		timer := time.NewTimer(t.latency[server])
-		select {
-		case <-ctx.Done():
-			timer.Stop()
-			return Response{}, ctx.Err()
-		case <-timer.C:
-		}
+	if err := t.sleep(ctx, t.latencyOf(server)); err != nil {
+		return Response{}, err
 	}
 	if t.dropped() {
 		return Response{OK: false}, nil
 	}
 	return t.servers[server].HandleRequest(req)
+}
+
+// InvokeBatch implements BatchTransport: the frame pays ONE round trip —
+// the slowest destination's modelled latency — and one loss roll (a lost
+// frame loses every reply in it), which is exactly the economics that make
+// session batching worthwhile. Items are then dispatched to their servers
+// in order.
+func (t *memTransport) InvokeBatch(ctx context.Context, items []BatchItem) ([]Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var worst time.Duration
+	for _, it := range items {
+		if it.Server < 0 || it.Server >= len(t.servers) {
+			return nil, fmt.Errorf("sim: transport: server %d out of range [0,%d)", it.Server, len(t.servers))
+		}
+		if d := t.latencyOf(it.Server); d > worst {
+			worst = d
+		}
+	}
+	if err := t.sleep(ctx, worst); err != nil {
+		return nil, err
+	}
+	out := make([]Response, len(items))
+	if t.dropped() {
+		return out, nil // whole frame lost: every item reads unresponsive
+	}
+	for i, it := range items {
+		resp, err := t.servers[it.Server].HandleRequest(it.Req)
+		if err != nil {
+			resp = Response{OK: false}
+		}
+		out[i] = resp
+	}
+	return out, nil
+}
+
+// GroupOf implements BatchGrouper: in-memory delivery has no per-server
+// framing cost, so every server shares one group and a session wave
+// flushes as a single frame — the batcher's bookkeeping is paid once per
+// wave instead of once per server. (The frame still sleeps the slowest
+// member's latency and rolls loss once, like a real shard frame would.)
+func (t *memTransport) GroupOf(int) int { return 0 }
+
+// latencyOf returns the server's modelled round-trip delay.
+func (t *memTransport) latencyOf(server int) time.Duration {
+	if t.latency == nil {
+		return 0
+	}
+	return t.latency[server]
+}
+
+// sleep waits out d, interruptibly by ctx.
+func (t *memTransport) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
 }

@@ -1,0 +1,355 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bqs/internal/sim"
+	"bqs/internal/systems"
+)
+
+// TestBatchedSessionOverLoopback runs keyed Session traffic over real
+// TCP: an MGrid(4,1) universe split across two shards, concurrent
+// sessions writing and reading distinct keys through batched v2 frames,
+// with a Byzantine fabricator inside the masking bound. Every read must
+// return the value written under its own key.
+func TestBatchedSessionOverLoopback(t *testing.T) {
+	sys, err := systems.NewMGrid(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const b = 1 // 16-server universe, two shards of 8
+
+	routes := make(map[int]string)
+	replicas := make(map[int]*sim.Server)
+	for _, ids := range [][]int{{0, 1, 2, 3, 4, 5, 6, 7}, {8, 9, 10, 11, 12, 13, 14, 15}} {
+		reps := newReplicas(ids)
+		addr, _ := startShard(t, reps)
+		for id, rep := range reps {
+			routes[id] = addr
+			replicas[id] = rep
+		}
+	}
+	replicas[5].SetBehavior(sim.ByzantineFabricate)
+
+	tr, err := Dial(routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	cluster, err := sim.NewCluster(sys, b,
+		sim.WithTransport(func([]*sim.Server) sim.Transport { return tr }))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	const clients, keysPer = 4, 6
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			sess := cluster.NewClient(id).NewSession(sim.WithSessionBatch(8))
+			defer sess.Close()
+			writes := make([]*sim.WriteFuture, keysPer)
+			for k := 0; k < keysPer; k++ {
+				writes[k] = sess.WriteAsync(ctx, fmt.Sprintf("c%d/k%d", id, k), fmt.Sprintf("v%d-%d", id, k))
+			}
+			for k, f := range writes {
+				if err := f.Wait(); err != nil {
+					errs <- fmt.Errorf("client %d write k%d: %w", id, k, err)
+					return
+				}
+			}
+			reads := make([]*sim.ReadFuture, keysPer)
+			for k := 0; k < keysPer; k++ {
+				reads[k] = sess.ReadAsync(ctx, fmt.Sprintf("c%d/k%d", id, k))
+			}
+			for k, f := range reads {
+				tv, err := f.Wait()
+				if err != nil {
+					errs <- fmt.Errorf("client %d read k%d: %w", id, k, err)
+					return
+				}
+				if want := fmt.Sprintf("v%d-%d", id, k); tv.Value != want {
+					errs <- fmt.Errorf("client %d key k%d: got %q want %q", id, k, tv.Value, want)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The keyed data really landed per key on the correct replicas.
+	found := 0
+	for _, rep := range replicas {
+		if rep.Behavior() != sim.Correct {
+			continue
+		}
+		if tv := rep.SnapshotKey("c0/k0"); tv.Value == "v0-0" {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Error("no correct replica holds key c0/k0 after the run")
+	}
+}
+
+// TestWireBatchMixedServers exercises the shard fan-out directly: one
+// batch frame carrying operations for several replicas of one shard,
+// plus an item for a server the shard does not host, which must answer
+// OK: false without disturbing its neighbors.
+func TestWireBatchMixedServers(t *testing.T) {
+	reps := newReplicas([]int{0, 1, 2})
+	addr, _ := startShard(t, reps)
+	tr, err := Dial(map[int]string{0: addr, 1: addr, 2: addr, 9: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	tv := sim.TaggedValue{Value: "shared-frame", TS: sim.Timestamp{Seq: 1, Writer: 1}}
+	items := []sim.BatchItem{
+		{Server: 0, Req: sim.Request{Op: sim.OpWrite, Key: "a", Value: tv}},
+		{Server: 1, Req: sim.Request{Op: sim.OpWrite, Key: "a", Value: tv}},
+		{Server: 9, Req: sim.Request{Op: sim.OpRead, Key: "a", ReaderID: 1}}, // not hosted
+		{Server: 2, Req: sim.Request{Op: sim.OpWrite, Key: "a", Value: tv}},
+	}
+	resps, err := tr.InvokeBatch(ctx, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []bool{true, true, false, true} {
+		if resps[i].OK != want {
+			t.Errorf("item %d: OK=%v, want %v", i, resps[i].OK, want)
+		}
+	}
+	for _, id := range []int{0, 1, 2} {
+		if got := reps[id].SnapshotKey("a"); got != tv {
+			t.Errorf("replica %d stored %+v, want %+v", id, got, tv)
+		}
+	}
+
+	// An unrouted server is an abort, exactly as in Invoke.
+	if _, err := tr.InvokeBatch(ctx, []sim.BatchItem{{Server: 77, Req: sim.Request{Op: sim.OpRead}}}); err == nil {
+		t.Error("InvokeBatch accepted an unrouted server")
+	}
+}
+
+// TestWireBatchFailFast is the regression test for batched frames
+// failing fast as a unit: a batch to a dead shard pays ONE connection
+// attempt for the whole frame — not one per operation — and while the
+// redial backoff holds, further batches answer immediately off the gate.
+func TestWireBatchFailFast(t *testing.T) {
+	// A shard that accepts and instantly hangs up: every op that dials
+	// individually would burn its own accept, so the accept count is a
+	// direct measurement of how many connection attempts the batch cost.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	var accepts atomic.Int64
+	go func() {
+		for {
+			nc, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			accepts.Add(1)
+			nc.Close()
+		}
+	}()
+
+	routes := map[int]string{}
+	items := make([]sim.BatchItem, 32)
+	for i := range items {
+		routes[i] = addr
+		items[i] = sim.BatchItem{Server: i, Req: sim.Request{Op: sim.OpRead, Key: "k", ReaderID: 1}}
+	}
+	tr, err := Dial(routes, WithRedialBackoff(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	resps, err := tr.InvokeBatch(ctx, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range resps {
+		if r.OK {
+			t.Fatalf("item %d answered OK from a dead shard", i)
+		}
+	}
+	// The whole 32-op frame must have cost one connection attempt (allow
+	// one extra for an unlucky teardown/redial race), not one per op.
+	if got := accepts.Load(); got > 2 {
+		t.Errorf("32-op batch to a dying shard cost %d connection attempts; want 1 (fail fast as a unit)", got)
+	}
+
+	// Kill the listener: the next attempt is a genuine dial failure, which
+	// arms the hour-long backoff...
+	lis.Close()
+	if _, err := tr.InvokeBatch(ctx, items); err != nil {
+		t.Fatal(err)
+	}
+	// ...and inside the backoff window the gate answers the whole batch at
+	// once, with no network activity at all.
+	start := time.Now()
+	if _, err := tr.InvokeBatch(ctx, items); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("backoff-gated batch took %v; want immediate", elapsed)
+	}
+}
+
+// serveV1 emulates an old (pre-v2) daemon: request and control frames
+// are answered, anything else — a hello, a batch frame — kills the
+// connection, which is exactly what the v1 serveConn did with an
+// unknown tag.
+func serveV1(t *testing.T, reps map[int]*sim.Server) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	go func() {
+		for {
+			nc, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func(nc net.Conn) {
+				defer nc.Close()
+				var buf []byte
+				for {
+					frame, err := ReadFrame(nc, buf)
+					if err != nil {
+						return
+					}
+					buf = frame
+					if len(frame) == 0 || frame[0] != tagRequest {
+						return // v1 server: unknown frame kind drops the conn
+					}
+					id, server, req, err := DecodeRequest(frame)
+					if err != nil {
+						return
+					}
+					resp := sim.Response{OK: false}
+					if rep, ok := reps[int(server)]; ok {
+						if r, err := rep.HandleRequest(req); err == nil {
+							resp = r
+						}
+					}
+					out, _ := AppendResponse(nil, id, resp)
+					if _, err := nc.Write(out); err != nil {
+						return
+					}
+				}
+			}(nc)
+		}
+	}()
+	return lis.Addr().String()
+}
+
+// TestWireVersionNegotiation pins the interop edges of the connect-time
+// hello:
+//
+//   - a WithVersion(1) client against a v2 server: keyless single
+//     frames work, keyed operations answer OK: false (the v1 frame
+//     cannot carry a key), batches fall back to pipelined singles;
+//   - a v2 client against a v1 server: the hello kills the connection,
+//     which reads as a crashed shard (OK: false), never a hang or a
+//     wrong answer.
+func TestWireVersionNegotiation(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	t.Run("v1-client-v2-server", func(t *testing.T) {
+		reps := newReplicas([]int{0, 1})
+		addr, _ := startShard(t, reps)
+		tr, err := Dial(map[int]string{0: addr, 1: addr}, WithVersion(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+
+		tv := sim.TaggedValue{Value: "legacy", TS: sim.Timestamp{Seq: 1, Writer: 0}}
+		resp, err := tr.Invoke(ctx, 0, sim.Request{Op: sim.OpWrite, Value: tv})
+		if err != nil || !resp.OK {
+			t.Fatalf("keyless v1 write: resp=%+v err=%v", resp, err)
+		}
+		resp, err = tr.Invoke(ctx, 0, sim.Request{Op: sim.OpRead, ReaderID: 1})
+		if err != nil || !resp.OK || resp.Value != tv {
+			t.Fatalf("keyless v1 read: resp=%+v err=%v", resp, err)
+		}
+		// Keyed operation: no frame for it at v1 — reads as crashed.
+		resp, err = tr.Invoke(ctx, 0, sim.Request{Op: sim.OpRead, Key: "k", ReaderID: 1})
+		if err != nil {
+			t.Fatalf("keyed op on v1 conn must not error, got %v", err)
+		}
+		if resp.OK {
+			t.Fatal("keyed op on v1 conn answered OK")
+		}
+		// Batch: falls back to pipelined singles; keyed item stays OK: false.
+		resps, err := tr.InvokeBatch(ctx, []sim.BatchItem{
+			{Server: 0, Req: sim.Request{Op: sim.OpRead, ReaderID: 1}},
+			{Server: 1, Req: sim.Request{Op: sim.OpRead, Key: "k", ReaderID: 1}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resps[0].OK || resps[0].Value != tv {
+			t.Errorf("batch fallback keyless item: %+v", resps[0])
+		}
+		if resps[1].OK {
+			t.Error("batch fallback keyed item answered OK on a v1 connection")
+		}
+	})
+
+	t.Run("v2-client-v1-server", func(t *testing.T) {
+		reps := newReplicas([]int{0})
+		addr := serveV1(t, reps)
+		tr, err := Dial(map[int]string{0: addr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+
+		// The hello kills the conn; the op must come back OK: false
+		// promptly (a crash signal), not hang on the dead exchange.
+		opCtx, opCancel := context.WithTimeout(ctx, 5*time.Second)
+		defer opCancel()
+		resp, err := tr.Invoke(opCtx, 0, sim.Request{Op: sim.OpRead, Key: "k", ReaderID: 1})
+		if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if err != nil {
+			t.Fatal("keyed op against a v1 server hung until the deadline instead of failing fast")
+		}
+		if resp.OK {
+			t.Fatal("keyed op against a v1 server answered OK")
+		}
+	})
+}

@@ -19,6 +19,7 @@ type dialConfig struct {
 	poolSize      int
 	dialTimeout   time.Duration
 	redialBackoff time.Duration
+	version       int
 }
 
 // WithPoolSize sets how many TCP connections the client keeps per address
@@ -54,6 +55,19 @@ func WithRedialBackoff(d time.Duration) DialOption {
 	}
 }
 
+// WithVersion caps the protocol version the client speaks (default
+// ProtoVersion). At 1 the client sends no hello and frames every
+// operation as a v1 single — the mode for talking to a fleet of old
+// daemons, where keyed operations answer Response{OK: false} because the
+// v1 frame cannot carry a key.
+func WithVersion(v int) DialOption {
+	return func(c *dialConfig) {
+		if v >= 1 && v <= ProtoVersion {
+			c.version = v
+		}
+	}
+}
+
 // Client is a sim.Transport that carries probes over TCP. Each global
 // server index is routed to the address hosting it; per address the
 // client keeps a small pool of connections, multiplexing concurrent
@@ -65,15 +79,20 @@ func WithRedialBackoff(d time.Duration) DialOption {
 // Connections re-establish automatically on the next probe after the
 // redial backoff, so a restarted server rejoins the fleet untouched.
 type Client struct {
-	routes map[int]string
-	cfg    dialConfig
+	routes    map[int]string
+	addrGroup map[string]int // stable per-address index, for batch grouping
+	cfg       dialConfig
 
 	mu     sync.Mutex
 	pools  map[string]*pool
 	closed bool
 }
 
-var _ sim.Transport = (*Client)(nil)
+var (
+	_ sim.Transport      = (*Client)(nil)
+	_ sim.BatchTransport = (*Client)(nil)
+	_ sim.BatchGrouper   = (*Client)(nil)
+)
 
 // Dial validates the route table (global server index → "host:port") and
 // returns a Client. Connections are established lazily, on first use per
@@ -97,15 +116,34 @@ func Dial(routes map[int]string, opts ...DialOption) (*Client, error) {
 		poolSize:      1,
 		dialTimeout:   2 * time.Second,
 		redialBackoff: 100 * time.Millisecond,
+		version:       ProtoVersion,
 	}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	groups := make(map[string]int)
+	for _, addr := range m {
+		if _, ok := groups[addr]; !ok {
+			groups[addr] = len(groups)
+		}
+	}
 	return &Client{
-		routes: m,
-		cfg:    cfg,
-		pools:  make(map[string]*pool),
+		routes:    m,
+		addrGroup: groups,
+		cfg:       cfg,
+		pools:     make(map[string]*pool),
 	}, nil
+}
+
+// GroupOf implements sim.BatchGrouper: probes whose servers live at the
+// same address may share a frame, so the session batcher coalesces a
+// whole shard's traffic — not just one replica's — into each round trip.
+func (c *Client) GroupOf(server int) int {
+	addr, ok := c.routes[server]
+	if !ok {
+		return -1 // unrouted servers group together and fail together
+	}
+	return c.addrGroup[addr]
 }
 
 // Routes returns a copy of the route table.
@@ -134,6 +172,90 @@ func (c *Client) Invoke(ctx context.Context, server int, req sim.Request) (sim.R
 		return sim.Response{}, err
 	}
 	return p.pick().roundTrip(ctx, uint32(server), req)
+}
+
+// InvokeBatch implements sim.BatchTransport: items are grouped by the
+// address hosting their servers and each group travels as one v2 batch
+// frame. A group whose address is unreachable fails fast AS A UNIT — one
+// backoff-gate check for the whole frame, every item answering
+// Response{OK: false} — so a dead shard costs one redial-backoff window,
+// not one per operation in the batch. Responses align index-by-index
+// with items; the error return is reserved for aborts (ctx done, closed
+// client, unrouted server).
+func (c *Client) InvokeBatch(ctx context.Context, items []sim.BatchItem) ([]sim.Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]sim.Response, len(items))
+	// The batcher already groups per address, so the common case is one
+	// group; the grouping here keeps the contract honest for direct
+	// callers.
+	type group struct {
+		idx   []int
+		items []sim.BatchItem
+	}
+	groups := make(map[string]*group, 1)
+	order := make([]string, 0, 1)
+	for i, it := range items {
+		addr, ok := c.routes[it.Server]
+		if !ok {
+			return nil, fmt.Errorf("wire: no route for server %d", it.Server)
+		}
+		g := groups[addr]
+		if g == nil {
+			g = &group{}
+			groups[addr] = g
+			order = append(order, addr)
+		}
+		g.idx = append(g.idx, i)
+		g.items = append(g.items, it)
+	}
+	for _, addr := range order {
+		g := groups[addr]
+		p, err := c.pool(addr)
+		if err != nil {
+			return nil, err
+		}
+		cn := p.pick()
+		// Chunk so no frame exceeds the op-count or byte limits; every
+		// chunk of a group rides the same connection.
+		for start := 0; start < len(g.items); {
+			end := chunkEnd(g.items, start)
+			resps, err := cn.roundTripBatch(ctx, g.items[start:end])
+			if err != nil {
+				return nil, err
+			}
+			for k, r := range resps {
+				out[g.idx[start+k]] = r
+			}
+			start = end
+		}
+	}
+	return out, nil
+}
+
+// chunkEnd returns the end index of the largest frame-sized chunk of
+// items starting at start: at most MaxBatchOps operations and comfortably
+// under the MaxFrame payload bound.
+func chunkEnd(items []sim.BatchItem, start int) int {
+	bytes := batchHeaderLen
+	end := start
+	for end < len(items) && end-start < MaxBatchOps {
+		it := items[end]
+		sz := reqItemOverhead + len(it.Req.Key) + valueHeaderLen + len(it.Req.Value.Value)
+		if end > start && bytes+sz > MaxFrame {
+			break
+		}
+		bytes += sz
+		end++
+	}
+	if end == start {
+		// A single item too big for any frame: give it its own chunk;
+		// roundTripBatch's fitsFrame filter answers it OK: false without
+		// ever encoding it.
+		end = start + 1
+	}
+	return end
 }
 
 // Flip implements sim.Flipper over the network: it sends a control frame
@@ -236,11 +358,32 @@ type conn struct {
 	mu         sync.Mutex
 	nc         net.Conn
 	bw         *bufio.Writer
+	ver        int           // negotiated protocol version; 0 while the hello answer is pending
+	helloWait  chan struct{} // non-nil while ver is pending; closed on answer or teardown
 	nextID     uint64
-	pending    map[uint64]chan sim.Response
+	pending    map[uint64]*pendingCall
 	nextDialAt time.Time     // backoff gate after a failed dial
 	dialDone   chan struct{} // non-nil while a goroutine is dialing; closed when done
 	closed     bool
+}
+
+// pendingCall is one in-flight frame awaiting its response: a single
+// operation or a batch. Channels are buffered so teardown and readLoop
+// never block on an abandoned waiter.
+type pendingCall struct {
+	single chan sim.Response   // non-nil for single-operation frames
+	batch  chan []sim.Response // non-nil for batch frames
+	n      int                 // expected batch response count
+}
+
+// fail answers the call the way a crashed peer would. Called with the
+// conn state mutex held.
+func (pc *pendingCall) fail() {
+	if pc.single != nil {
+		pc.single <- sim.Response{OK: false}
+		return
+	}
+	pc.batch <- make([]sim.Response, pc.n) // zero Responses: all OK: false
 }
 
 // errDown is the internal signal that the remote end is unreachable; the
@@ -248,11 +391,21 @@ type conn struct {
 var errDown = fmt.Errorf("wire: server down")
 
 // roundTrip sends req and waits for its response, ctx, or connection
-// death (which counts as Response{OK: false}).
+// death (which counts as Response{OK: false}). Keyless requests travel as
+// v1 single frames at every version; a keyed request needs v2 — against a
+// v1 peer it answers Response{OK: false}, the suspicion signal, because a
+// peer that cannot name the key cannot serve the data.
 func (cn *conn) roundTrip(ctx context.Context, server uint32, req sim.Request) (sim.Response, error) {
-	return cn.roundTripFrame(ctx, func(id uint64) ([]byte, error) {
-		return AppendRequest(nil, id, server, req)
-	})
+	if req.Key == "" {
+		return cn.roundTripFrame(ctx, func(id uint64) ([]byte, error) {
+			return AppendRequest(nil, id, server, req)
+		})
+	}
+	resps, err := cn.roundTripBatch(ctx, []sim.BatchItem{{Server: int(server), Req: req}})
+	if err != nil {
+		return sim.Response{}, err
+	}
+	return resps[0], nil
 }
 
 // roundTripControl sends a behavior flip and waits for its acknowledgement
@@ -265,12 +418,13 @@ func (cn *conn) roundTripControl(ctx context.Context, server uint32, behavior si
 	})
 }
 
-// roundTripFrame sends the frame built by encode (called with the fresh
-// request ID under the connection's state mutex) and waits for the
-// matching response, ctx, or connection death (which counts as
+// roundTripFrame sends the single-operation frame built by encode (called
+// with the fresh request ID under the connection's state mutex) and waits
+// for the matching response, ctx, or connection death (which counts as
 // Response{OK: false}).
 func (cn *conn) roundTripFrame(ctx context.Context, encode func(id uint64) ([]byte, error)) (sim.Response, error) {
-	id, ch, err := cn.send(ctx, encode)
+	pc := &pendingCall{single: make(chan sim.Response, 1)}
+	id, err := cn.send(ctx, encode, pc)
 	if err == errDown {
 		return sim.Response{OK: false}, nil
 	}
@@ -278,7 +432,7 @@ func (cn *conn) roundTripFrame(ctx context.Context, encode func(id uint64) ([]by
 		return sim.Response{}, err
 	}
 	select {
-	case resp := <-ch:
+	case resp := <-pc.single:
 		// Connection teardown answers all pending requests with OK: false,
 		// so a response always arrives; dead servers read as crashed.
 		return resp, nil
@@ -288,33 +442,160 @@ func (cn *conn) roundTripFrame(ctx context.Context, encode func(id uint64) ([]by
 	}
 }
 
-// send ensures the connection is up, registers a pending entry, and
+// roundTripBatch sends one batch frame and waits for its aligned
+// responses. An unreachable peer fails the WHOLE batch fast, as a unit:
+// one dial attempt or one backoff-gate check answers every item with
+// Response{OK: false} — this is what keeps a dead shard's cost at one
+// redial-backoff window instead of one per operation. Against a
+// negotiated v1 peer there are no batch frames; items fall back to
+// pipelined v1 singles, and keyed items answer Response{OK: false}.
+func (cn *conn) roundTripBatch(ctx context.Context, items []sim.BatchItem) ([]sim.Response, error) {
+	ver, err := cn.version(ctx)
+	if err == errDown {
+		return make([]sim.Response, len(items)), nil // whole frame down, as a unit
+	}
+	if err != nil {
+		return nil, err
+	}
+	if ver < 2 {
+		// Legacy peer: no batch frames. Items travel as concurrent v1
+		// singles pipelined on this connection, so batching against a v1
+		// daemon costs what not batching costs; keyed items answer
+		// OK: false (the v1 frame cannot carry a key).
+		out := make([]sim.Response, len(items))
+		errs := make(chan error, len(items))
+		sent := 0
+		for i, it := range items {
+			if it.Req.Key != "" {
+				continue
+			}
+			sent++
+			go func(i int, server uint32, req sim.Request) {
+				resp, rerr := cn.roundTrip(ctx, server, req)
+				if rerr == nil {
+					out[i] = resp
+				}
+				errs <- rerr
+			}(i, uint32(it.Server), it.Req)
+		}
+		var firstErr error
+		for ; sent > 0; sent-- {
+			if rerr := <-errs; rerr != nil && firstErr == nil {
+				firstErr = rerr
+			}
+		}
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return out, nil
+	}
+	// An item no frame can carry (key or value past the per-frame bounds)
+	// answers OK: false on its own; it must not poison the frame with an
+	// encode error that would fail every innocent operation sharing it.
+	out := make([]sim.Response, len(items))
+	sendable := make([]sim.BatchItem, 0, len(items))
+	idx := make([]int, 0, len(items))
+	for i, it := range items {
+		if fitsFrame(it) {
+			sendable = append(sendable, it)
+			idx = append(idx, i)
+		}
+	}
+	if len(sendable) == 0 {
+		return out, nil
+	}
+	pc := &pendingCall{batch: make(chan []sim.Response, 1), n: len(sendable)}
+	id, err := cn.send(ctx, func(id uint64) ([]byte, error) {
+		return AppendBatchRequest(nil, id, sendable)
+	}, pc)
+	if err == errDown {
+		return out, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case resps := <-pc.batch:
+		for k, r := range resps {
+			out[idx[k]] = r
+		}
+		return out, nil
+	case <-ctx.Done():
+		cn.forget(id)
+		return nil, ctx.Err()
+	}
+}
+
+// fitsFrame reports whether the item can be encoded in a batch frame at
+// all, even alone. v1's MaxValueLen is sized for the smaller v1 header,
+// so a handful of maximum-length values that were legal as v1 single
+// frames do not fit the roomier v2 item encoding; they read as
+// unresponsive rather than as an abort.
+func fitsFrame(it sim.BatchItem) bool {
+	return it.Server >= 0 &&
+		len(it.Req.Key) <= MaxKeyLen &&
+		batchHeaderLen+reqItemOverhead+len(it.Req.Key)+valueHeaderLen+len(it.Req.Value.Value) <= MaxFrame
+}
+
+// version returns the connection's negotiated protocol version,
+// establishing the connection and waiting out the hello exchange as
+// needed. errDown reports an unreachable peer — including a v1 peer that
+// dropped the connection at our hello, which is indistinguishable from a
+// crash and handled the same way.
+func (cn *conn) version(ctx context.Context) (int, error) {
+	if err := cn.ensureConn(ctx); err != nil {
+		return 0, err
+	}
+	for {
+		cn.mu.Lock()
+		switch {
+		case cn.closed:
+			cn.mu.Unlock()
+			return 0, fmt.Errorf("wire: client closed")
+		case cn.ver != 0 && cn.nc != nil:
+			v := cn.ver
+			cn.mu.Unlock()
+			return v, nil
+		case cn.nc == nil:
+			cn.mu.Unlock()
+			return 0, errDown // died before (or during) the hello exchange
+		}
+		wait := cn.helloWait
+		cn.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-wait:
+		}
+	}
+}
+
+// send ensures the connection is up, registers the pending call, and
 // writes the frame built by encode. The write itself happens outside the
 // state mutex (under wmu) so responses keep flowing while it blocks.
-func (cn *conn) send(ctx context.Context, encode func(id uint64) ([]byte, error)) (uint64, chan sim.Response, error) {
+func (cn *conn) send(ctx context.Context, encode func(id uint64) ([]byte, error), pc *pendingCall) (uint64, error) {
 	if err := cn.ensureConn(ctx); err != nil {
-		return 0, nil, err
+		return 0, err
 	}
 	cn.mu.Lock()
 	if cn.closed {
 		cn.mu.Unlock()
-		return 0, nil, fmt.Errorf("wire: client closed")
+		return 0, fmt.Errorf("wire: client closed")
 	}
 	if cn.nc == nil {
 		// The connection died between ensureConn and here; treat the
 		// servers behind it as down rather than re-dialing in a loop.
 		cn.mu.Unlock()
-		return 0, nil, errDown
+		return 0, errDown
 	}
 	cn.nextID++
 	id := cn.nextID
 	frame, err := encode(id)
 	if err != nil {
 		cn.mu.Unlock()
-		return 0, nil, err // unencodable frame (oversized value): caller bug, abort
+		return 0, err // unencodable frame (oversized value): caller bug, abort
 	}
-	ch := make(chan sim.Response, 1)
-	cn.pending[id] = ch
+	cn.pending[id] = pc
 	nc, bw := cn.nc, cn.bw
 	cn.mu.Unlock()
 
@@ -331,9 +612,9 @@ func (cn *conn) send(ctx context.Context, encode func(id uint64) ([]byte, error)
 		// Teardown (ours, or a concurrent one that beat us to it) already
 		// answered the pending entry with OK: false if it was still
 		// registered; reporting errDown here reads the same to the caller.
-		return 0, nil, errDown
+		return 0, errDown
 	}
-	return id, ch, nil
+	return id, nil
 }
 
 // ensureConn returns once a connection is established (by this goroutine
@@ -398,14 +679,31 @@ func (cn *conn) ensureConn(ctx context.Context) error {
 		}
 		cn.nc = nc
 		cn.bw = bufio.NewWriter(nc)
-		cn.pending = make(map[uint64]chan sim.Response)
+		cn.pending = make(map[uint64]*pendingCall)
+		if cn.cfg.version >= 2 {
+			// Open with the version hello; the negotiated answer arrives on
+			// the readLoop. No other writer can exist yet — the connection
+			// becomes visible only when cn.mu is released — so writing here
+			// cannot interleave with a request frame.
+			cn.ver = 0
+			cn.helloWait = make(chan struct{})
+			cn.bw.Write(AppendHello(nil, byte(cn.cfg.version)))
+			if err := cn.bw.Flush(); err != nil {
+				cn.teardownLocked(nc)
+				cn.mu.Unlock()
+				return errDown
+			}
+		} else {
+			cn.ver = 1
+			cn.helloWait = nil
+		}
 		go cn.readLoop(nc)
 		cn.mu.Unlock()
 		return nil
 	}
 }
 
-// readLoop dispatches response frames to their pending channels until the
+// readLoop dispatches response frames to their pending calls until the
 // connection dies, then fails whatever is still in flight.
 func (cn *conn) readLoop(nc net.Conn) {
 	br := bufio.NewReader(nc)
@@ -416,28 +714,69 @@ func (cn *conn) readLoop(nc net.Conn) {
 			break
 		}
 		buf = frame
-		id, resp, err := DecodeResponse(frame)
-		if err != nil {
-			break // corrupt stream: no way to re-synchronize
+		if len(frame) == 0 {
+			break
 		}
-		cn.mu.Lock()
-		ch, ok := cn.pending[id]
-		if ok {
-			delete(cn.pending, id)
-		}
-		cn.mu.Unlock()
-		if ok {
-			ch <- resp // buffered; never blocks
+		switch frame[0] {
+		case tagHello:
+			sv, err := DecodeHello(frame)
+			if err != nil {
+				goto done // corrupt stream: no way to re-synchronize
+			}
+			cn.mu.Lock()
+			if cn.nc == nc && cn.helloWait != nil {
+				cn.ver = min(cn.cfg.version, int(sv))
+				close(cn.helloWait)
+				cn.helloWait = nil
+			}
+			cn.mu.Unlock()
+		case tagBatchResponse:
+			id, resps, err := DecodeBatchResponse(frame)
+			if err != nil {
+				goto done
+			}
+			cn.mu.Lock()
+			pc, ok := cn.pending[id]
+			if ok && pc.batch != nil && len(resps) == pc.n {
+				delete(cn.pending, id)
+				cn.mu.Unlock()
+				pc.batch <- resps // buffered; never blocks
+				continue
+			}
+			cn.mu.Unlock()
+			if ok {
+				goto done // kind or count mismatch: protocol error
+			}
+			// Unknown id: a late response for a forgotten call; drop it.
+		default:
+			id, resp, err := DecodeResponse(frame)
+			if err != nil {
+				goto done
+			}
+			cn.mu.Lock()
+			pc, ok := cn.pending[id]
+			if ok && pc.single != nil {
+				delete(cn.pending, id)
+				cn.mu.Unlock()
+				pc.single <- resp // buffered; never blocks
+				continue
+			}
+			cn.mu.Unlock()
+			if ok {
+				goto done // a batch call answered with a single frame: protocol error
+			}
 		}
 	}
+done:
 	cn.mu.Lock()
 	cn.teardownLocked(nc)
 	cn.mu.Unlock()
 }
 
 // teardownLocked closes nc and, if it is still the active connection,
-// answers every pending request with OK: false so waiters treat the
-// remote servers as crashed. Called with cn.mu held.
+// answers every pending call with OK: false so waiters treat the remote
+// servers as crashed, and releases any goroutine parked on the hello
+// exchange. Called with cn.mu held.
 func (cn *conn) teardownLocked(nc net.Conn) {
 	nc.Close()
 	if cn.nc != nc {
@@ -445,9 +784,14 @@ func (cn *conn) teardownLocked(nc net.Conn) {
 	}
 	cn.nc = nil
 	cn.bw = nil
-	for id, ch := range cn.pending {
+	if cn.helloWait != nil {
+		close(cn.helloWait)
+		cn.helloWait = nil
+	}
+	cn.ver = 0
+	for id, pc := range cn.pending {
 		delete(cn.pending, id)
-		ch <- sim.Response{OK: false}
+		pc.fail()
 	}
 }
 

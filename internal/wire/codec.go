@@ -31,6 +31,9 @@ import (
 
 // Frame layout. Every message is a 4-byte big-endian payload length
 // followed by the payload; the first payload byte tags the message kind.
+// This file defines the protocol v1 frames (one keyless operation each)
+// plus the version-independent control frame; codecv2.go adds the v2
+// hello and keyed batch frames.
 //
 //	request  := tagRequest id:u64 server:u32 op:u8 reader:i64 value
 //	response := tagResponse id:u64 flags:u8 value
@@ -101,7 +104,14 @@ func decodeValue(p []byte) (sim.TaggedValue, []byte, error) {
 
 // AppendRequest appends a complete request frame (length prefix included)
 // for req addressed to the given global server index, correlated by id.
+// This is the v1 single-operation frame, which has no room for a register
+// key: a keyed request is rejected rather than silently collapsed onto
+// the default key (that would be data corruption, not interop) — keyed
+// operations need the v2 batch frames of codecv2.go.
 func AppendRequest(dst []byte, id uint64, server uint32, req sim.Request) ([]byte, error) {
+	if req.Key != "" {
+		return dst, fmt.Errorf("wire: v1 request frame cannot carry key %q", req.Key)
+	}
 	if len(req.Value.Value) > MaxValueLen {
 		return dst, fmt.Errorf("wire: value of %d bytes exceeds %d", len(req.Value.Value), MaxValueLen)
 	}

@@ -1,0 +1,241 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"bqs/internal/sim"
+)
+
+// Protocol v2: keyed, batched frames. The v1 frames of codec.go carry one
+// keyless operation each; v2 adds
+//
+//	hello     := tagHello ver:u8
+//	batchReq  := tagBatchRequest id:u64 count:u16 reqItem*
+//	reqItem   := server:u32 op:u8 reader:i64 keylen:u16 key value
+//	batchResp := tagBatchResponse id:u64 count:u16 respItem*
+//	respItem  := flags:u8 value
+//
+// (value as in codec.go: seq:i64 writer:i64 len:u32 bytes). A batch frame
+// carries operations for any mix of servers, so one frame serves a whole
+// shard: the receiving daemon fans the items across the replicas it hosts
+// and answers with a batchResp whose items align index-by-index with the
+// request. id is the same pipelining correlation token v1 uses; batch and
+// single frames share one id space per connection.
+//
+// Version negotiation happens at connect: the client's first frame is a
+// hello carrying the highest version it speaks, and the server answers
+// with min(its own highest, the client's). Keyless single operations are
+// valid v1 frames and may be pipelined behind the hello immediately;
+// anything that needs v2 framing (keys, batches) waits for the answer
+// and is framed at the negotiated version — against a v1 peer that means
+// single keyless v1 frames only (keyed operations answer
+// Response{OK: false}, indistinguishable from a crashed server, so
+// quorum re-selection routes around the downgrade). A
+// v1 server drops the connection at the unknown hello tag, which tears
+// down the pending hello wait exactly like a crash; a v2 server that
+// receives an ordinary v1 frame first simply serves the connection as v1
+// — old clients interoperate without ever knowing v2 exists.
+const (
+	tagHello         = 0x54
+	tagBatchRequest  = 0x55
+	tagBatchResponse = 0x56
+
+	// ProtoVersion is the highest protocol version this build speaks.
+	ProtoVersion = 2
+
+	helloLen        = 1 + 1              // tag + version
+	batchHeaderLen  = 1 + 8 + 2          // tag + id + count
+	reqItemOverhead = 4 + 1 + 8 + 2      // server + op + reader + keylen
+	respItemMinLen  = 1 + valueHeaderLen // flags + value header
+
+	// MaxKeyLen bounds a register key on the wire, so a hostile keylen
+	// cannot push the item header past the frame.
+	MaxKeyLen = 1 << 12
+
+	// MaxBatchOps bounds how many operations one batch frame may carry.
+	MaxBatchOps = 1 << 10
+)
+
+// AppendHello appends a complete hello frame advertising version ver.
+func AppendHello(dst []byte, ver byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, helloLen)
+	dst = append(dst, tagHello, ver)
+	return dst
+}
+
+// DecodeHello parses a hello payload and returns the advertised version.
+// A version of 0 is rejected: no peer speaks it, so it can only be
+// corruption.
+func DecodeHello(p []byte) (byte, error) {
+	if len(p) != helloLen {
+		return 0, fmt.Errorf("wire: hello payload of %d bytes, want %d", len(p), helloLen)
+	}
+	if p[0] != tagHello {
+		return 0, fmt.Errorf("wire: payload tag %#x is not a hello", p[0])
+	}
+	if p[1] == 0 {
+		return 0, fmt.Errorf("wire: hello advertises version 0")
+	}
+	return p[1], nil
+}
+
+// AppendBatchRequest appends a complete v2 batch-request frame carrying
+// items, correlated by id. Items may address different servers — the
+// shard hosting them fans the batch across its replicas. Oversized keys,
+// values, batches, or a total payload past MaxFrame are rejected at
+// encode time, mirroring the decoder.
+func AppendBatchRequest(dst []byte, id uint64, items []sim.BatchItem) ([]byte, error) {
+	if len(items) == 0 || len(items) > MaxBatchOps {
+		return dst, fmt.Errorf("wire: batch of %d operations outside [1,%d]", len(items), MaxBatchOps)
+	}
+	total := batchHeaderLen
+	for _, it := range items {
+		if it.Server < 0 || int64(it.Server) > int64(^uint32(0)) {
+			return dst, fmt.Errorf("wire: server index %d does not fit a frame", it.Server)
+		}
+		if len(it.Req.Key) > MaxKeyLen {
+			return dst, fmt.Errorf("wire: key of %d bytes exceeds %d", len(it.Req.Key), MaxKeyLen)
+		}
+		if len(it.Req.Value.Value) > MaxValueLen {
+			return dst, fmt.Errorf("wire: value of %d bytes exceeds %d", len(it.Req.Value.Value), MaxValueLen)
+		}
+		total += reqItemOverhead + len(it.Req.Key) + valueHeaderLen + len(it.Req.Value.Value)
+	}
+	if total > MaxFrame {
+		return dst, fmt.Errorf("wire: batch frame of %d bytes exceeds %d", total, MaxFrame)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(total))
+	dst = append(dst, tagBatchRequest)
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(items)))
+	for _, it := range items {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(it.Server))
+		dst = append(dst, byte(it.Req.Op))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(int64(it.Req.ReaderID)))
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(it.Req.Key)))
+		dst = append(dst, it.Req.Key...)
+		dst = appendValue(dst, it.Req.Value)
+	}
+	return dst, nil
+}
+
+// DecodeBatchRequest parses a batch-request payload.
+func DecodeBatchRequest(p []byte) (id uint64, items []sim.BatchItem, err error) {
+	if len(p) < batchHeaderLen {
+		return 0, nil, fmt.Errorf("wire: batch payload of %d bytes shorter than header %d", len(p), batchHeaderLen)
+	}
+	if p[0] != tagBatchRequest {
+		return 0, nil, fmt.Errorf("wire: payload tag %#x is not a batch request", p[0])
+	}
+	id = binary.BigEndian.Uint64(p[1:])
+	count := int(binary.BigEndian.Uint16(p[9:]))
+	if count == 0 || count > MaxBatchOps {
+		return 0, nil, fmt.Errorf("wire: batch count %d outside [1,%d]", count, MaxBatchOps)
+	}
+	p = p[batchHeaderLen:]
+	items = make([]sim.BatchItem, 0, count)
+	for i := 0; i < count; i++ {
+		if len(p) < reqItemOverhead {
+			return 0, nil, fmt.Errorf("wire: truncated batch item %d (%d bytes)", i, len(p))
+		}
+		var it sim.BatchItem
+		it.Server = int(binary.BigEndian.Uint32(p))
+		it.Req.Op = sim.Op(p[4])
+		it.Req.ReaderID = int(int64(binary.BigEndian.Uint64(p[5:])))
+		klen := int(binary.BigEndian.Uint16(p[13:]))
+		if klen > MaxKeyLen {
+			return 0, nil, fmt.Errorf("wire: key length %d exceeds %d", klen, MaxKeyLen)
+		}
+		p = p[reqItemOverhead:]
+		if len(p) < klen {
+			return 0, nil, fmt.Errorf("wire: truncated key (%d of %d bytes)", len(p), klen)
+		}
+		it.Req.Key = string(p[:klen])
+		tv, rest, err := decodeValue(p[klen:])
+		if err != nil {
+			return 0, nil, err
+		}
+		it.Req.Value = tv
+		p = rest
+		items = append(items, it)
+	}
+	if len(p) != 0 {
+		return 0, nil, fmt.Errorf("wire: %d trailing bytes after batch request", len(p))
+	}
+	return id, items, nil
+}
+
+// AppendBatchResponse appends a complete v2 batch-response frame
+// answering batch id; resps must align index-by-index with the request's
+// items. A response value too large for a frame is the caller's bug at
+// this layer (the server degrades oversized replica answers to
+// unresponsiveness before encoding).
+func AppendBatchResponse(dst []byte, id uint64, resps []sim.Response) ([]byte, error) {
+	if len(resps) == 0 || len(resps) > MaxBatchOps {
+		return dst, fmt.Errorf("wire: batch of %d responses outside [1,%d]", len(resps), MaxBatchOps)
+	}
+	total := batchHeaderLen
+	for _, r := range resps {
+		if len(r.Value.Value) > MaxValueLen {
+			return dst, fmt.Errorf("wire: value of %d bytes exceeds %d", len(r.Value.Value), MaxValueLen)
+		}
+		total += respItemMinLen + len(r.Value.Value)
+	}
+	if total > MaxFrame {
+		return dst, fmt.Errorf("wire: batch frame of %d bytes exceeds %d", total, MaxFrame)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(total))
+	dst = append(dst, tagBatchResponse)
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(resps)))
+	for _, r := range resps {
+		var flags byte
+		if r.OK {
+			flags |= flagOK
+		}
+		dst = append(dst, flags)
+		dst = appendValue(dst, r.Value)
+	}
+	return dst, nil
+}
+
+// DecodeBatchResponse parses a batch-response payload. Like the v1
+// response decoder, unknown flag bits are rejected so a future protocol
+// revision cannot be half-understood silently.
+func DecodeBatchResponse(p []byte) (id uint64, resps []sim.Response, err error) {
+	if len(p) < batchHeaderLen {
+		return 0, nil, fmt.Errorf("wire: batch payload of %d bytes shorter than header %d", len(p), batchHeaderLen)
+	}
+	if p[0] != tagBatchResponse {
+		return 0, nil, fmt.Errorf("wire: payload tag %#x is not a batch response", p[0])
+	}
+	id = binary.BigEndian.Uint64(p[1:])
+	count := int(binary.BigEndian.Uint16(p[9:]))
+	if count == 0 || count > MaxBatchOps {
+		return 0, nil, fmt.Errorf("wire: batch count %d outside [1,%d]", count, MaxBatchOps)
+	}
+	p = p[batchHeaderLen:]
+	resps = make([]sim.Response, 0, count)
+	for i := 0; i < count; i++ {
+		if len(p) < respItemMinLen {
+			return 0, nil, fmt.Errorf("wire: truncated batch response item %d (%d bytes)", i, len(p))
+		}
+		if p[0]&^flagOK != 0 {
+			return 0, nil, fmt.Errorf("wire: unknown response flags %#x", p[0])
+		}
+		var r sim.Response
+		r.OK = p[0]&flagOK != 0
+		tv, rest, err := decodeValue(p[1:])
+		if err != nil {
+			return 0, nil, err
+		}
+		r.Value = tv
+		p = rest
+		resps = append(resps, r)
+	}
+	if len(p) != 0 {
+		return 0, nil, fmt.Errorf("wire: %d trailing bytes after batch response", len(p))
+	}
+	return id, resps, nil
+}

@@ -1,0 +1,305 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+
+	"bqs/internal/sim"
+)
+
+var batchRequestCases = []struct {
+	name  string
+	id    uint64
+	items []sim.BatchItem
+}{
+	{"single-keyless", 1, []sim.BatchItem{
+		{Server: 0, Req: sim.Request{Op: sim.OpRead, ReaderID: 7}},
+	}},
+	{"single-keyed", 2, []sim.BatchItem{
+		{Server: 3, Req: sim.Request{Op: sim.OpWrite, Key: "user/42", Value: sim.TaggedValue{Value: "v", TS: sim.Timestamp{Seq: 9, Writer: 2}}}},
+	}},
+	{"mixed-servers", math.MaxUint64, []sim.BatchItem{
+		{Server: 0, Req: sim.Request{Op: sim.OpReadTimestamps, Key: "a", ReaderID: -1}},
+		{Server: 5, Req: sim.Request{Op: sim.OpWrite, Key: "b", Value: sim.TaggedValue{Value: "x", TS: sim.Timestamp{Seq: 1 << 40, Writer: -1}}}},
+		{Server: math.MaxUint32, Req: sim.Request{Op: sim.OpRead, Key: strings.Repeat("k", MaxKeyLen), ReaderID: math.MinInt32}},
+	}},
+	{"full-batch", 3, func() []sim.BatchItem {
+		items := make([]sim.BatchItem, MaxBatchOps)
+		for i := range items {
+			items[i] = sim.BatchItem{Server: i, Req: sim.Request{Op: sim.OpRead, Key: "k", ReaderID: i}}
+		}
+		return items
+	}()},
+	{"utf8-key-and-value", 4, []sim.BatchItem{
+		{Server: 1, Req: sim.Request{Op: sim.OpWrite, Key: "clé/ключ ✓", Value: sim.TaggedValue{Value: "\x00\xff", TS: sim.Timestamp{Seq: math.MinInt64, Writer: math.MaxInt32}}}},
+	}},
+}
+
+func TestBatchRequestRoundTrip(t *testing.T) {
+	for _, tc := range batchRequestCases {
+		t.Run(tc.name, func(t *testing.T) {
+			frame, err := AppendBatchRequest(nil, tc.id, tc.items)
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload, err := ReadFrame(bytes.NewReader(frame), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			id, items, err := DecodeBatchRequest(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id != tc.id || len(items) != len(tc.items) {
+				t.Fatalf("round trip mangled frame: id=%d n=%d, want id=%d n=%d", id, len(items), tc.id, len(tc.items))
+			}
+			for i := range items {
+				if items[i] != tc.items[i] {
+					t.Fatalf("item %d mangled:\n got %+v\nwant %+v", i, items[i], tc.items[i])
+				}
+			}
+		})
+	}
+}
+
+var batchResponseCases = []struct {
+	name  string
+	id    uint64
+	resps []sim.Response
+}{
+	{"one-down", 1, []sim.Response{{}}},
+	{"mixed", 2, []sim.Response{
+		{OK: true, Value: sim.TaggedValue{Value: "v", TS: sim.Timestamp{Seq: 3, Writer: 1}}},
+		{OK: false},
+		{OK: true},
+	}},
+	{"extremes", math.MaxUint64, []sim.Response{
+		{OK: true, Value: sim.TaggedValue{Value: strings.Repeat("\xfe", 999), TS: sim.Timestamp{Seq: math.MinInt64, Writer: math.MinInt32}}},
+	}},
+}
+
+func TestBatchResponseRoundTrip(t *testing.T) {
+	for _, tc := range batchResponseCases {
+		t.Run(tc.name, func(t *testing.T) {
+			frame, err := AppendBatchResponse(nil, tc.id, tc.resps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload, err := ReadFrame(bytes.NewReader(frame), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			id, resps, err := DecodeBatchResponse(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id != tc.id || len(resps) != len(tc.resps) {
+				t.Fatalf("round trip mangled frame: id=%d n=%d, want id=%d n=%d", id, len(resps), tc.id, len(tc.resps))
+			}
+			for i := range resps {
+				if resps[i] != tc.resps[i] {
+					t.Fatalf("item %d mangled:\n got %+v\nwant %+v", i, resps[i], tc.resps[i])
+				}
+			}
+		})
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	for _, v := range []byte{1, 2, 255} {
+		frame := AppendHello(nil, v)
+		payload, err := ReadFrame(bytes.NewReader(frame), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeHello(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Fatalf("hello version mangled: got %d want %d", got, v)
+		}
+	}
+	if _, err := DecodeHello([]byte{tagHello, 0}); err == nil {
+		t.Error("DecodeHello accepted version 0")
+	}
+	if _, err := DecodeHello([]byte{tagHello}); err == nil {
+		t.Error("DecodeHello accepted a truncated payload")
+	}
+	if _, err := DecodeHello([]byte{tagRequest, 2}); err == nil {
+		t.Error("DecodeHello accepted a non-hello tag")
+	}
+}
+
+func TestAppendBatchRequestRejects(t *testing.T) {
+	if _, err := AppendBatchRequest(nil, 1, nil); err == nil {
+		t.Error("accepted an empty batch")
+	}
+	over := make([]sim.BatchItem, MaxBatchOps+1)
+	for i := range over {
+		over[i] = sim.BatchItem{Server: i, Req: sim.Request{Op: sim.OpRead}}
+	}
+	if _, err := AppendBatchRequest(nil, 1, over); err == nil {
+		t.Error("accepted a batch beyond MaxBatchOps")
+	}
+	if _, err := AppendBatchRequest(nil, 1, []sim.BatchItem{
+		{Server: 0, Req: sim.Request{Op: sim.OpRead, Key: strings.Repeat("k", MaxKeyLen+1)}},
+	}); err == nil {
+		t.Error("accepted a key beyond MaxKeyLen")
+	}
+	if _, err := AppendBatchRequest(nil, 1, []sim.BatchItem{
+		{Server: -1, Req: sim.Request{Op: sim.OpRead}},
+	}); err == nil {
+		t.Error("accepted a negative server index")
+	}
+	if _, err := AppendBatchRequest(nil, 1, []sim.BatchItem{
+		{Server: 0, Req: sim.Request{Op: sim.OpWrite, Value: sim.TaggedValue{Value: strings.Repeat("v", MaxValueLen+1)}}},
+	}); err == nil {
+		t.Error("accepted a value beyond MaxValueLen")
+	}
+	// Two near-limit values overflow the frame even though each fits.
+	big := strings.Repeat("v", MaxValueLen)
+	if _, err := AppendBatchRequest(nil, 1, []sim.BatchItem{
+		{Server: 0, Req: sim.Request{Op: sim.OpWrite, Value: sim.TaggedValue{Value: big}}},
+		{Server: 1, Req: sim.Request{Op: sim.OpWrite, Value: sim.TaggedValue{Value: big}}},
+	}); err == nil {
+		t.Error("accepted a batch whose total exceeds MaxFrame")
+	}
+}
+
+func TestDecodeBatchRejectsMalformed(t *testing.T) {
+	good, err := AppendBatchRequest(nil, 9, []sim.BatchItem{
+		{Server: 2, Req: sim.Request{Op: sim.OpWrite, Key: "k", Value: sim.TaggedValue{Value: "ok"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := good[4:]
+	cases := map[string][]byte{
+		"empty":        {},
+		"short-header": payload[:5],
+		"wrong-tag":    append([]byte{tagRequest}, payload[1:]...),
+		"trailing":     append(append([]byte{}, payload...), 0xAA),
+		"zero-count": func() []byte {
+			p := append([]byte{}, payload...)
+			binary.BigEndian.PutUint16(p[9:], 0)
+			return p
+		}(),
+		"count-overrun": func() []byte {
+			p := append([]byte{}, payload...)
+			binary.BigEndian.PutUint16(p[9:], 7) // promises 7 items, carries 1
+			return p
+		}(),
+		"key-overrun": func() []byte {
+			p := append([]byte{}, payload...)
+			// Inflate the declared key length past the actual bytes.
+			binary.BigEndian.PutUint16(p[batchHeaderLen+13:], 5000)
+			return p
+		}(),
+	}
+	for name, p := range cases {
+		if _, _, err := DecodeBatchRequest(p); err == nil {
+			t.Errorf("%s: DecodeBatchRequest accepted malformed payload", name)
+		}
+	}
+	if _, _, err := DecodeBatchResponse(payload); err == nil {
+		t.Error("DecodeBatchResponse accepted a batch-request payload")
+	}
+
+	goodResp, err := AppendBatchResponse(nil, 9, []sim.Response{{OK: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := append([]byte{}, goodResp[4:]...)
+	rp[batchHeaderLen] |= 0x80 // unknown flag bit
+	if _, _, err := DecodeBatchResponse(rp); err == nil {
+		t.Error("DecodeBatchResponse accepted unknown response flags")
+	}
+}
+
+// FuzzDecodeBatchRequest asserts the v2 batch decoder never panics on
+// arbitrary payloads, and that anything it does accept re-encodes to an
+// identical frame — the same decode/re-encode identity the three v1
+// fuzz targets pin. The corpus seeds version-negotiation edges too: a
+// hello payload and a v1 request payload must both be rejected here.
+func FuzzDecodeBatchRequest(f *testing.F) {
+	for _, tc := range batchRequestCases {
+		if len(tc.items) > 8 {
+			continue // keep the seed corpus small
+		}
+		frame, err := AppendBatchRequest(nil, tc.id, tc.items)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame[4:])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{tagBatchRequest})
+	f.Add(AppendHello(nil, 2)[4:])
+	f.Add(AppendHello(nil, 1)[4:])
+	if v1, err := AppendRequest(nil, 3, 1, sim.Request{Op: sim.OpRead, ReaderID: 1}); err == nil {
+		f.Add(v1[4:])
+	}
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		id, items, err := DecodeBatchRequest(payload)
+		if err != nil {
+			return
+		}
+		frame, err := AppendBatchRequest(nil, id, items)
+		if err != nil {
+			t.Fatalf("decoded batch fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(frame[4:], payload) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", frame[4:], payload)
+		}
+	})
+}
+
+// FuzzDecodeBatchResponse is the response-side twin of
+// FuzzDecodeBatchRequest.
+func FuzzDecodeBatchResponse(f *testing.F) {
+	for _, tc := range batchResponseCases {
+		frame, err := AppendBatchResponse(nil, tc.id, tc.resps)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame[4:])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{tagBatchResponse})
+	f.Add(AppendHello(nil, 2)[4:])
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		id, resps, err := DecodeBatchResponse(payload)
+		if err != nil {
+			return
+		}
+		frame, err := AppendBatchResponse(nil, id, resps)
+		if err != nil {
+			t.Fatalf("decoded batch fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(frame[4:], payload) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", frame[4:], payload)
+		}
+	})
+}
+
+// FuzzDecodeHello pins the negotiation frame: decode never panics, and
+// accepted payloads re-encode identically.
+func FuzzDecodeHello(f *testing.F) {
+	f.Add(AppendHello(nil, 1)[4:])
+	f.Add(AppendHello(nil, 2)[4:])
+	f.Add([]byte{tagHello, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		v, err := DecodeHello(payload)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(AppendHello(nil, v)[4:], payload) {
+			t.Fatalf("re-encode mismatch for hello %d", v)
+		}
+	})
+}

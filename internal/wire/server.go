@@ -108,10 +108,13 @@ func (s *Server) Serve(lis net.Listener) error {
 	}
 }
 
-// serveConn reads request and control frames and answers them. A
-// malformed frame is a protocol error: the connection is dropped (a
-// well-behaved peer never sends one, and there is no way to
-// re-synchronize a corrupt stream).
+// serveConn reads request, batch, control and hello frames and answers
+// them. Version negotiation is stateless on this side: a hello is
+// answered with min(ProtoVersion, client's version), and every frame
+// kind is accepted at any time — a connection that never says hello is
+// simply a v1 peer sending v1 frames. A malformed frame is a protocol
+// error: the connection is dropped (a well-behaved peer never sends one,
+// and there is no way to re-synchronize a corrupt stream).
 func (s *Server) serveConn(nc net.Conn) {
 	defer func() {
 		s.mu.Lock()
@@ -122,6 +125,17 @@ func (s *Server) serveConn(nc net.Conn) {
 	var wmu sync.Mutex // serializes response frames from concurrent handlers
 	bw := bufio.NewWriter(nc)
 	br := bufio.NewReader(nc)
+	send := func(out []byte) {
+		wmu.Lock()
+		_, werr := bw.Write(out)
+		if werr == nil {
+			werr = bw.Flush()
+		}
+		wmu.Unlock()
+		if werr != nil {
+			nc.Close() // unblocks the read loop
+		}
+	}
 	var buf []byte
 	for {
 		frame, err := ReadFrame(br, buf)
@@ -129,23 +143,49 @@ func (s *Server) serveConn(nc net.Conn) {
 			return
 		}
 		buf = frame
-		var (
-			id   uint64
-			resp func() sim.Response // deferred so it runs on the handler goroutine
-		)
+		var encode func() []byte // deferred so it runs on the handler goroutine
 		switch frame[0] {
+		case tagHello:
+			cv, err := DecodeHello(frame)
+			if err != nil {
+				return
+			}
+			send(AppendHello(nil, byte(min(ProtoVersion, int(cv)))))
+			continue
 		case tagRequest:
 			reqID, server, req, err := DecodeRequest(frame)
 			if err != nil {
 				return
 			}
-			id, resp = reqID, func() sim.Response { return s.handle(server, req) }
+			encode = func() []byte {
+				out, err := AppendResponse(nil, reqID, s.handle(server, req))
+				if err != nil {
+					// A response that cannot be encoded (oversized value from
+					// a Byzantine replica) degrades to unresponsiveness.
+					out, _ = AppendResponse(nil, reqID, sim.Response{OK: false})
+				}
+				return out
+			}
+		case tagBatchRequest:
+			batchID, items, err := DecodeBatchRequest(frame)
+			if err != nil {
+				return
+			}
+			encode = func() []byte {
+				// handleBatch guarantees the responses fit one frame, so
+				// this encode cannot fail.
+				out, _ := AppendBatchResponse(nil, batchID, s.handleBatch(items))
+				return out
+			}
 		case tagControl:
 			ctlID, server, behavior, err := DecodeControl(frame)
 			if err != nil {
 				return
 			}
-			id, resp = ctlID, func() sim.Response { return s.control(server, behavior) }
+			encode = func() []byte {
+				out, _ := AppendResponse(nil, ctlID, s.control(server, behavior))
+				return out
+			}
 		default:
 			return // unknown frame kind: protocol error
 		}
@@ -154,23 +194,37 @@ func (s *Server) serveConn(nc net.Conn) {
 		}
 		go func() {
 			defer s.inflight.Done()
-			out, err := AppendResponse(nil, id, resp())
-			if err != nil {
-				// A response that cannot be encoded (oversized value from a
-				// Byzantine replica) degrades to unresponsiveness.
-				out, _ = AppendResponse(nil, id, sim.Response{OK: false})
-			}
-			wmu.Lock()
-			_, werr := bw.Write(out)
-			if werr == nil {
-				werr = bw.Flush()
-			}
-			wmu.Unlock()
-			if werr != nil {
-				nc.Close() // unblocks the read loop
-			}
+			send(encode())
 		}()
 	}
+}
+
+// handleBatch fans a batch frame across the shard's replicas: each item
+// is dispatched to the replica hosting its server, and the responses
+// align index-by-index with the items. An item for a server this shard
+// does not host — or one whose value cannot travel back — answers
+// Response{OK: false}, per item, exactly as the single-frame path does;
+// degradation is always per item, never per frame, so one huge stored
+// value cannot make the shard's other replicas read as crashed. The
+// returned responses are guaranteed to fit one frame: values are dropped
+// item by item once the running total would exceed MaxFrame (the
+// flags+header floor of every item fits MaxBatchOps many times over).
+func (s *Server) handleBatch(items []sim.BatchItem) []sim.Response {
+	out := make([]sim.Response, len(items))
+	total := batchHeaderLen
+	for i, it := range items {
+		if it.Server < 0 {
+			total += respItemMinLen
+			continue // OK: false
+		}
+		resp := s.handle(uint32(it.Server), it.Req)
+		if len(resp.Value.Value) > MaxValueLen || total+respItemMinLen+len(resp.Value.Value) > MaxFrame {
+			resp = sim.Response{OK: false}
+		}
+		total += respItemMinLen + len(resp.Value.Value)
+		out[i] = resp
+	}
+	return out
 }
 
 // beginRequest registers an in-flight request handler, refusing once
