@@ -10,6 +10,7 @@ import (
 	"bqs/internal/measures"
 	"bqs/internal/projective"
 	"bqs/internal/sim"
+	"bqs/internal/store"
 	"bqs/internal/systems"
 	"bqs/internal/wire"
 )
@@ -132,6 +133,26 @@ type (
 	// in-memory, WireClient over TCP (control frames).
 	Flipper = sim.Flipper
 
+	// Store is the pluggable storage engine behind a Server: a keyed map
+	// of timestamped records with last-writer-wins merge. NewMemStore
+	// returns the volatile engine, OpenDiskStore the durable WAL +
+	// snapshot engine with true crash-recovery.
+	Store = store.Store
+	// StoreRecord is one durable register version: key, value and the
+	// (Seq, Writer) timestamp that orders it.
+	StoreRecord = store.Record
+	// DiskOption configures OpenDiskStore (fsync policy, snapshot
+	// threshold).
+	DiskOption = store.DiskOption
+	// DiskStore is the durable engine: an append-only CRC-checksummed WAL
+	// with group commit, periodic snapshots, and recovery that tolerates a
+	// torn tail.
+	DiskStore = store.Disk
+	// RecoveryStats describes what a DiskStore replayed at open.
+	RecoveryStats = store.RecoveryStats
+	// ServerOption configures NewServer (durable storage).
+	ServerOption = sim.ServerOption
+
 	// WireServer is a TCP daemon hosting a shard of sim servers; see
 	// NewWireServer.
 	WireServer = wire.Server
@@ -171,6 +192,11 @@ const (
 	ByzantineFabricate  = sim.ByzantineFabricate
 	ByzantineStale      = sim.ByzantineStale
 	ByzantineEquivocate = sim.ByzantineEquivocate
+	// Restart is the kill-and-recover transition: crash the server, run
+	// its store's crash-recovery path (Store.Reopen), and return it to
+	// Correct — or leave it Crashed if recovery fails. A server without a
+	// durable store restarts with amnesia.
+	Restart = sim.Restart
 )
 
 // Protocol message types, for custom Transport implementations.
@@ -461,10 +487,53 @@ func NewInMemoryTransport(servers []*Server, seed int64) Transport {
 	return sim.NewInMemoryTransport(servers, seed)
 }
 
-// NewServer returns a correct replica with an empty register, for hosting
-// in a WireServer (the Cluster constructor builds its own servers; this
-// is for standalone daemons).
-func NewServer(id int) *Server { return sim.NewServer(id) }
+// NewServer returns a correct replica, for hosting in a WireServer (the
+// Cluster constructor builds its own servers; this is for standalone
+// daemons). Without options the replica starts with empty registers;
+// with WithStore it loads its registers from the engine's recovered
+// state and persists every accepted write before acknowledging it.
+func NewServer(id int, opts ...ServerOption) *Server { return sim.NewServer(id, opts...) }
+
+// WithStore backs the server's registers with the given storage engine:
+// recovered state is loaded at construction, every accepted write is
+// persisted before it is acknowledged, and a Restart fault replays the
+// engine's crash-recovery path.
+func WithStore(st Store) ServerOption { return sim.WithStore(st) }
+
+// WithStores backs every server of a cluster with a storage engine from
+// the factory, called once per server id; return (nil, nil) to leave a
+// server memory-only. The cluster owns the engines it builds and closes
+// them in Cluster.Close.
+func WithStores(factory func(id int) (Store, error)) ClusterOption {
+	return sim.WithStores(factory)
+}
+
+// NewMemStore returns the volatile storage engine: a concurrency-safe
+// keyed map with last-writer-wins merge. Reopen wipes it — a restart
+// over a memory engine models a server with amnesia.
+func NewMemStore() Store { return store.NewMem() }
+
+// OpenDiskStore opens (or creates) the durable engine rooted at dir: an
+// append-only CRC-checksummed WAL with group commit, periodic snapshots
+// with log truncation, and recovery that replays snapshot plus WAL tail,
+// tolerating a torn or corrupt final record.
+func OpenDiskStore(dir string, opts ...DiskOption) (*DiskStore, error) {
+	return store.Open(dir, opts...)
+}
+
+// WithFsync controls whether the durable engine fsyncs each group
+// commit (default true). Disabling it trades crash durability of the
+// last few records for throughput.
+func WithFsync(on bool) DiskOption { return store.WithFsync(on) }
+
+// WithSnapshotThreshold sets the WAL size that triggers a snapshot and
+// log truncation (default store.DefaultSnapshotThreshold).
+func WithSnapshotThreshold(n int64) DiskOption { return store.WithSnapshotThreshold(n) }
+
+// WithCommitLinger sets the durable engine's group-commit window — how
+// long the flusher collects concurrent writes before each fsync (default
+// store.DefaultCommitLinger; 0 flushes immediately).
+func WithCommitLinger(d time.Duration) DiskOption { return store.WithCommitLinger(d) }
 
 // NewWireServer returns a TCP daemon hosting the given replicas, keyed by
 // global server index. Start it with ListenAndServe or Serve; stop it

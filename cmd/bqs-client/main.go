@@ -71,6 +71,8 @@ func run() error {
 	faultSchedule := flag.String("fault-schedule", "", "fault timeline \"100ms:3:crashed,600ms:3:correct\" driven remotely via control frames")
 	churn := flag.String("churn", "", "stochastic churn \"mtbf=300ms,mttr=100ms[,down=behavior][,servers=lo-hi]\" over the -duration horizon, driven remotely")
 	suspicionTTL := flag.Duration("suspicion-ttl", 0, "client suspicion TTL so recovered servers regain traffic (0 = auto: 50ms when churn is active)")
+	benchJSON := flag.String("bench-json", "", "write the run's benchmark snapshot (ops/s, p50/p99, measured load) as JSON to this path")
+	storeLabel := flag.String("store-label", "memory", "store engine label recorded in -bench-json output (set to durable when the daemons run -data-dir)")
 	flag.Parse()
 
 	sys, err := harness.BuildSystem(*system, *b)
@@ -135,7 +137,15 @@ func run() error {
 	if err := driver.Stop(); err != nil {
 		return err
 	}
-	harness.Report(cluster, sys, *b, counters)
+	sum := harness.Report(cluster, sys, *b, counters)
+	if *benchJSON != "" {
+		snap := harness.Snapshot("client", sys, *b, *storeLabel, w, counters, sum)
+		if err := harness.WriteBenchJSON(*benchJSON, []harness.BenchSnapshot{snap}); err != nil {
+			return err
+		}
+		fmt.Printf("bench: wrote %s (%.0f ops/s, p50 %.2fms, p99 %.2fms, %s store)\n",
+			*benchJSON, snap.OpsPerSec, snap.P50Ms, snap.P99Ms, snap.Store)
+	}
 
 	if counters.Violations > 0 {
 		return fmt.Errorf("%d reads surfaced fabricated values — more than b Byzantine servers in the deployment, or a protocol bug", counters.Violations)

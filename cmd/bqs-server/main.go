@@ -9,11 +9,19 @@
 //
 //	bqs-server -listen :7000 -servers 0-24
 //	bqs-server -listen :7001 -servers 25-49 -byzantine 30,41 -crashed 27
+//	bqs-server -listen :7002 -servers 50-74 -data-dir /var/lib/bqs
 //
 // Fault injection is server-side, as in a real deployment: -byzantine
 // and -crashed take comma-separated global indices (which must fall
 // inside this daemon's shard) and set those replicas' behaviors before
 // serving. SIGINT/SIGTERM trigger a graceful shutdown.
+//
+// With -data-dir each replica persists its registers to a WAL+snapshot
+// store under DIR/server-NNNN, acknowledging a write only after it is
+// durable, and recovers that state on startup — kill -9 the daemon,
+// restart it with the same -data-dir, and the shard rejoins with every
+// acknowledged write intact (the recovery summary is printed per
+// replica). -fsync=false trades tail durability for throughput.
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -42,6 +51,8 @@ func run() error {
 	byzantine := flag.String("byzantine", "", "comma-separated global indices to make Byzantine (fabricating)")
 	crashed := flag.String("crashed", "", "comma-separated global indices to crash")
 	grace := flag.Duration("grace", 5*time.Second, "graceful shutdown budget on SIGINT/SIGTERM")
+	dataDir := flag.String("data-dir", "", "durable state root: each replica persists to DIR/server-NNNN and recovers it on restart (empty = in-memory)")
+	fsync := flag.Bool("fsync", true, "fsync each durable group commit (only with -data-dir)")
 	flag.Parse()
 
 	ids, err := bqs.ParseIDRange(*servers)
@@ -50,7 +61,18 @@ func run() error {
 	}
 	replicas := make(map[int]*bqs.Server, len(ids))
 	for _, id := range ids {
-		replicas[id] = bqs.NewServer(id)
+		var opts []bqs.ServerOption
+		if *dataDir != "" {
+			st, err := bqs.OpenDiskStore(filepath.Join(*dataDir, fmt.Sprintf("server-%04d", id)),
+				bqs.WithFsync(*fsync))
+			if err != nil {
+				return fmt.Errorf("server %d: %w", id, err)
+			}
+			defer st.Close()
+			fmt.Printf("bqs-server: server %d recovered: %s\n", id, st.Recovered())
+			opts = append(opts, bqs.WithStore(st))
+		}
+		replicas[id] = bqs.NewServer(id, opts...)
 	}
 	if err := inject(replicas, *byzantine, bqs.ByzantineFabricate); err != nil {
 		return err

@@ -13,7 +13,8 @@
 //	        [-jitter 0] [-timeout 0] [-deterministic] [-seed 1]
 //	        [-keys 0] [-key-dist uniform|zipf:S] [-batch 1]
 //	        [-fault-schedule SPEC] [-churn SPEC] [-suspicion-ttl 0]
-//	        [-availability SPEC]
+//	        [-availability SPEC] [-data-dir DIR] [-fsync=true]
+//	        [-bench-json out.json]
 //
 // With -duration the run is time-bounded instead of op-bounded. With
 // -strategy optimal, quorum selection samples the LP-optimal access
@@ -40,6 +41,14 @@
 // the fault-free LP convergence check armed — churn instrumentation must
 // not perturb the measurement.
 //
+// Durable state: -data-dir DIR backs every server with the WAL+snapshot
+// store (one engine per server under DIR/server-NNNN), so writes are
+// persisted before they are acknowledged and churn behaviors like
+// "recover=restart" exercise true crash-recovery; -fsync=false trades
+// tail durability for throughput. -bench-json PATH writes the run's
+// machine-readable benchmark snapshot (ops/s, p50/p99 latency, measured
+// load, store engine) for the CI bench trajectory.
+//
 // -availability replaces the workload with the Definition 3.10
 // experiment: many seeded epochs each crash servers i.i.d. with
 // probability p and run the protocol; the empirical system-crash rate is
@@ -55,6 +64,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"bqs"
@@ -90,6 +100,9 @@ func run() error {
 	churn := flag.String("churn", "", "stochastic churn \"mtbf=300ms,mttr=100ms[,down=behavior][,servers=lo-hi]\" over the -duration horizon")
 	suspicionTTL := flag.Duration("suspicion-ttl", 0, "client suspicion TTL so recovered servers regain traffic (0 = auto: 50ms when churn is active)")
 	availability := flag.String("availability", "", "availability experiment \"p=0.1,epochs=2000[,seed=N][,mctrials=N]\": empirical crash rate vs F_p(Q); replaces the workload")
+	dataDir := flag.String("data-dir", "", "back every server with a durable WAL+snapshot store under DIR/server-NNNN (empty = in-memory registers)")
+	fsync := flag.Bool("fsync", true, "fsync each durable group commit (only with -data-dir)")
+	benchJSON := flag.String("bench-json", "", "write the run's benchmark snapshot (ops/s, p50/p99, measured load) as JSON to this path")
 	flag.Parse()
 
 	sys, err := harness.BuildSystem(*system, *b)
@@ -138,9 +151,21 @@ func run() error {
 			*batch = 1
 		}
 	}
+	storeLabel := "memory"
+	if *dataDir != "" {
+		storeLabel = "durable"
+		dir, syncOn := *dataDir, *fsync
+		opts = append(opts, bqs.WithStores(func(id int) (bqs.Store, error) {
+			return bqs.OpenDiskStore(filepath.Join(dir, fmt.Sprintf("server-%04d", id)), bqs.WithFsync(syncOn))
+		}))
+	}
 	cluster, err := bqs.NewCluster(sys, *b, opts...)
 	if err != nil {
 		return err
+	}
+	defer cluster.Close()
+	if *dataDir != "" {
+		fmt.Printf("store: durable under %s (fsync=%v)\n", *dataDir, *fsync)
 	}
 	rng := rand.New(rand.NewSource(*seed))
 	perm := rng.Perm(sys.UniverseSize())
@@ -173,6 +198,14 @@ func run() error {
 	}
 
 	sum := harness.Report(cluster, sys, *b, counters)
+	if *benchJSON != "" {
+		snap := harness.Snapshot("sim", sys, *b, storeLabel, w, counters, sum)
+		if err := harness.WriteBenchJSON(*benchJSON, []harness.BenchSnapshot{snap}); err != nil {
+			return err
+		}
+		fmt.Printf("bench: wrote %s (%.0f ops/s, p50 %.2fms, p99 %.2fms, %s store)\n",
+			*benchJSON, snap.OpsPerSec, snap.P50Ms, snap.P99Ms, snap.Store)
+	}
 	knob := "-ops"
 	if *duration > 0 {
 		knob = "-duration"

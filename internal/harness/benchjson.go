@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+)
+
+// BenchSnapshot is one benchmark observation in the machine-readable
+// form the CI trajectory stores (BENCH_*.json artifacts): enough context
+// to identify the configuration (system, store engine, workload shape)
+// next to the measured throughput, latency quantiles and load. Fields
+// use JSON-friendly scalar units — seconds and milliseconds — so
+// trajectory tooling needs no Go duration parsing.
+type BenchSnapshot struct {
+	Label      string  `json:"label"`  // which harness produced it (sim, client, test name)
+	System     string  `json:"system"` // quorum system name
+	B          int     `json:"b"`      // masking bound
+	Store      string  `json:"store"`  // "memory" or "durable"
+	Clients    int     `json:"clients"`
+	Batch      int     `json:"batch"`
+	Keys       int     `json:"keys"`
+	Ok         int64   `json:"ok_ops"` // operations that completed their protocol
+	Attempted  int64   `json:"attempted_ops"`
+	Failures   int64   `json:"failures"`
+	Violations int64   `json:"violations"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	// PeakLoad is the measured busiest-server access frequency;
+	// LoadLower the Theorem 4.1 lower bound it is held against.
+	PeakLoad  float64 `json:"peak_load"`
+	LoadLower float64 `json:"load_lower_bound"`
+}
+
+// Snapshot assembles a BenchSnapshot from the pieces a harness already
+// has: the workload it ran, the counters it got back and the summary it
+// reported. store should name the engine behind the servers ("memory" or
+// "durable").
+func Snapshot(label string, sys System, b int, store string, w Workload, c Counters, s Summary) BenchSnapshot {
+	secs := c.Elapsed.Seconds()
+	snap := BenchSnapshot{
+		Label:      label,
+		System:     sys.Name(),
+		B:          b,
+		Store:      store,
+		Clients:    w.Clients,
+		Batch:      w.Batch,
+		Keys:       w.Keys,
+		Ok:         c.Succeeded(),
+		Attempted:  c.Total(),
+		Failures:   c.Failures,
+		Violations: c.Violations,
+		ElapsedSec: secs,
+		P50Ms:      float64(c.LatencyQuantile(0.50)) / float64(time.Millisecond),
+		P99Ms:      float64(c.LatencyQuantile(0.99)) / float64(time.Millisecond),
+		PeakLoad:   s.Peak,
+		LoadLower:  s.Lower,
+	}
+	if secs > 0 {
+		snap.OpsPerSec = float64(c.Succeeded()) / secs
+	}
+	if math.IsNaN(snap.PeakLoad) {
+		snap.PeakLoad = 0
+	}
+	return snap
+}
+
+// ReadBenchJSON reads back a snapshot file written by WriteBenchJSON,
+// for tests and trajectory tooling.
+func ReadBenchJSON(path string) ([]BenchSnapshot, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snaps []BenchSnapshot
+	if err := json.Unmarshal(buf, &snaps); err != nil {
+		return nil, fmt.Errorf("harness: decoding %s: %w", path, err)
+	}
+	return snaps, nil
+}
+
+// WriteBenchJSON writes the snapshots as an indented JSON array to path
+// — the -bench-json output both binaries share, uploaded by CI as a
+// BENCH_*.json artifact.
+func WriteBenchJSON(path string, snaps []BenchSnapshot) error {
+	buf, err := json.MarshalIndent(snaps, "", "  ")
+	if err != nil {
+		return fmt.Errorf("harness: encoding bench snapshot: %w", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return fmt.Errorf("harness: %w", err)
+	}
+	return nil
+}

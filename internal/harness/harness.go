@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -233,6 +234,64 @@ type Counters struct {
 	Failures      int64 // errored operations (deadline, retries exhausted, …)
 	Violations    int64 // reads that surfaced a fabricated value
 	Elapsed       time.Duration
+	// LatencySamples holds issue-to-completion times of successful
+	// operations, sorted ascending — a bounded reservoir sample when the
+	// run outgrows the capture limit, so quantiles stay honest at any run
+	// length. See LatencyQuantile.
+	LatencySamples []time.Duration
+}
+
+// LatencyQuantile returns the q-quantile (0 ≤ q ≤ 1) of the captured
+// operation latencies, or 0 when none were captured. q=0.5 is the median
+// p50, q=0.99 the tail p99 of the bench snapshots.
+func (c Counters) LatencyQuantile(q float64) time.Duration {
+	if len(c.LatencySamples) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(c.LatencySamples)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(c.LatencySamples) {
+		i = len(c.LatencySamples) - 1
+	}
+	return c.LatencySamples[i]
+}
+
+// latencyCap bounds how many latency samples one client retains; past it
+// the client switches to reservoir replacement, keeping a uniform sample
+// of its whole run.
+const latencyCap = 1 << 14
+
+// latencyReservoir is a per-client uniform sample of operation
+// latencies: the first latencyCap observations are kept outright, after
+// which observation t replaces a random held sample with probability
+// cap/t — the classic reservoir scheme, so quantiles computed from the
+// sample estimate the full run's. One goroutine per client writes into
+// it through the owning client's mutex (session watchers complete
+// concurrently), and merge collects every client's sample at the end.
+type latencyReservoir struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	seen    int64
+	rng     *rand.Rand
+}
+
+func newLatencyReservoir(seed int64) *latencyReservoir {
+	return &latencyReservoir{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (r *latencyReservoir) add(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seen++
+	if len(r.samples) < latencyCap {
+		r.samples = append(r.samples, d)
+		return
+	}
+	if j := r.rng.Int63n(r.seen); j < latencyCap {
+		r.samples[j] = d
+	}
 }
 
 // Total is every operation that ran to an outcome — the attempted count.
@@ -266,6 +325,7 @@ func Run(cluster *bqs.Cluster, w Workload) Counters {
 		violations, noCandidates atomic.Int64
 		failures                 atomic.Int64
 	)
+	lats := make([]*latencyReservoir, w.Clients)
 	start := time.Now()
 	runCtx, endRun := context.Background(), context.CancelFunc(func() {})
 	if w.Duration > 0 {
@@ -282,10 +342,14 @@ func Run(cluster *bqs.Cluster, w Workload) Counters {
 			// for a given seed.
 			rng := rand.New(rand.NewSource(w.Seed + (int64(id)+1)*0x9e3779b9))
 			keyOf := w.Dist.Sampler(w.Keys, rng)
-			// record tallies one completed operation; it reports true when
-			// the operation was cut off at the run boundary, which ends the
-			// client without counting the op as an outcome.
-			record := func(read bool, got bqs.TaggedValue, err error) bool {
+			lat := newLatencyReservoir(w.Seed + (int64(id)+1)*0x6a09e667)
+			lats[id] = lat
+			// record tallies one completed operation (d is its
+			// issue-to-completion time, sampled for the latency quantiles on
+			// success); it reports true when the operation was cut off at
+			// the run boundary, which ends the client without counting the
+			// op as an outcome.
+			record := func(read bool, got bqs.TaggedValue, err error, d time.Duration) bool {
 				switch {
 				case read && errors.Is(err, bqs.ErrNoCandidate):
 					noCandidates.Add(1)
@@ -297,8 +361,10 @@ func Run(cluster *bqs.Cluster, w Workload) Counters {
 					violations.Add(1)
 				case read:
 					reads.Add(1)
+					lat.add(d)
 				default:
 					writes.Add(1)
+					lat.add(d)
 				}
 				return false
 			}
@@ -319,30 +385,39 @@ func Run(cluster *bqs.Cluster, w Workload) Counters {
 				if w.Timeout > 0 {
 					opCtx, cancel = context.WithTimeout(runCtx, w.Timeout)
 				}
+				opStart := time.Now()
 				if (id+op)%2 == 0 {
 					err := cl.WriteKey(opCtx, key, fmt.Sprintf("c%d-op%04d", id, op))
 					cancel()
-					if record(false, bqs.TaggedValue{}, err) {
+					if record(false, bqs.TaggedValue{}, err, time.Since(opStart)) {
 						return
 					}
 					continue
 				}
 				got, err := cl.ReadKey(opCtx, key)
 				cancel()
-				if record(true, got, err) {
+				if record(true, got, err, time.Since(opStart)) {
 					return
 				}
 			}
 		}(id)
 	}
 	wg.Wait()
+	var samples []time.Duration
+	for _, lat := range lats {
+		if lat != nil {
+			samples = append(samples, lat.samples...)
+		}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
 	return Counters{
-		Reads:        reads.Load(),
-		Writes:       writes.Load(),
-		NoCandidates: noCandidates.Load(),
-		Failures:     failures.Load(),
-		Violations:   violations.Load(),
-		Elapsed:      time.Since(start),
+		Reads:          reads.Load(),
+		Writes:         writes.Load(),
+		NoCandidates:   noCandidates.Load(),
+		Failures:       failures.Load(),
+		Violations:     violations.Load(),
+		Elapsed:        time.Since(start),
+		LatencySamples: samples,
 	}
 }
 
@@ -351,7 +426,7 @@ func Run(cluster *bqs.Cluster, w Workload) Counters {
 // repeat. Window boundaries are also flush boundaries, so every frame
 // the batcher sends is as full as the workload allows.
 func runSession(runCtx context.Context, cl *bqs.Client, w Workload, id int,
-	keyOf func() int, record func(bool, bqs.TaggedValue, error) bool) {
+	keyOf func() int, record func(bool, bqs.TaggedValue, error, time.Duration) bool) {
 	sess := cl.NewSession(bqs.WithSessionBatch(w.Batch))
 	defer sess.Close()
 	type pendingOp struct {
@@ -359,6 +434,21 @@ func runSession(runCtx context.Context, cl *bqs.Client, w Workload, id int,
 		rf     *bqs.ReadFuture
 		wf     *bqs.WriteFuture
 		cancel context.CancelFunc
+		start  time.Time
+		end    chan time.Time // stamped by a watcher at future completion
+	}
+	// watch stamps the future's completion time from its Done channel:
+	// the wait loop below retires the window in issue order, so an op's
+	// Wait-return time can be long after the op itself finished, and
+	// using it would inflate the latency sample of every fast op stuck
+	// behind a slow one.
+	watch := func(done <-chan struct{}) chan time.Time {
+		ch := make(chan time.Time, 1)
+		go func() {
+			<-done
+			ch <- time.Now()
+		}()
+		return ch
 	}
 	for op := 0; ; {
 		if w.Duration > 0 {
@@ -379,13 +469,17 @@ func runSession(runCtx context.Context, cl *bqs.Client, w Workload, id int,
 			if w.Timeout > 0 {
 				opCtx, cancel = context.WithTimeout(runCtx, w.Timeout)
 			}
+			opStart := time.Now()
 			if (id+op+j)%2 == 0 {
+				wf := sess.WriteAsync(opCtx, key, fmt.Sprintf("c%d-op%04d", id, op+j))
 				window = append(window, pendingOp{
-					wf:     sess.WriteAsync(opCtx, key, fmt.Sprintf("c%d-op%04d", id, op+j)),
-					cancel: cancel,
+					wf: wf, cancel: cancel, start: opStart, end: watch(wf.Done()),
 				})
 			} else {
-				window = append(window, pendingOp{read: true, rf: sess.ReadAsync(opCtx, key), cancel: cancel})
+				rf := sess.ReadAsync(opCtx, key)
+				window = append(window, pendingOp{
+					read: true, rf: rf, cancel: cancel, start: opStart, end: watch(rf.Done()),
+				})
 			}
 		}
 		op += k
@@ -394,12 +488,12 @@ func runSession(runCtx context.Context, cl *bqs.Client, w Workload, id int,
 			if p.read {
 				got, err := p.rf.Wait()
 				p.cancel()
-				stop = record(true, got, err) || stop
+				stop = record(true, got, err, (<-p.end).Sub(p.start)) || stop
 				continue
 			}
 			err := p.wf.Wait()
 			p.cancel()
-			stop = record(false, bqs.TaggedValue{}, err) || stop
+			stop = record(false, bqs.TaggedValue{}, err, (<-p.end).Sub(p.start)) || stop
 		}
 		if stop {
 			return

@@ -12,6 +12,7 @@ import (
 	"bqs/internal/bitset"
 	"bqs/internal/core"
 	"bqs/internal/measures"
+	"bqs/internal/store"
 )
 
 // config collects the NewCluster functional options.
@@ -24,6 +25,7 @@ type config struct {
 	transport  func(servers []*Server) Transport
 	strategy   *core.Strategy
 	optimal    bool
+	stores     func(id int) (store.Store, error)
 }
 
 // strategyEnumLimit caps how many quorums WithStrategy/WithOptimalStrategy
@@ -131,6 +133,21 @@ func WithOptimalStrategy() Option {
 	}
 }
 
+// WithStores attaches a storage engine to every server: the factory is
+// called once per server id and its engine is installed via WithStore,
+// so writes persist before acking and the Restart behavior runs real
+// crash recovery. The Cluster owns the engines it built — Close releases
+// them. A factory returning (nil, nil) leaves that server memory-only.
+func WithStores(factory func(id int) (store.Store, error)) Option {
+	return func(c *config) error {
+		if factory == nil {
+			return errors.New("sim: nil store factory")
+		}
+		c.stores = factory
+		return nil
+	}
+}
+
 // WithDeterministic switches the cluster to single-threaded probing:
 // quorum members are contacted sequentially in ascending server order from
 // the calling goroutine instead of in parallel goroutines. With a fixed
@@ -150,6 +167,7 @@ type Cluster struct {
 	system     core.System
 	b          int
 	servers    []*Server
+	stores     []store.Store // engines built by WithStores, closed by Close
 	transport  Transport
 	mem        *memTransport // non-nil when the built-in transport is in use
 	picker     core.Picker
@@ -187,13 +205,29 @@ func NewCluster(system core.System, b int, opts ...Option) (*Cluster, error) {
 	}
 	n := system.UniverseSize()
 	servers := make([]*Server, n)
+	var stores []store.Store
 	for i := range servers {
-		servers[i] = NewServer(i)
+		var sopts []ServerOption
+		if cfg.stores != nil {
+			st, err := cfg.stores(i)
+			if err != nil {
+				for _, open := range stores {
+					open.Close()
+				}
+				return nil, fmt.Errorf("sim: store for server %d: %w", i, err)
+			}
+			if st != nil {
+				stores = append(stores, st)
+				sopts = append(sopts, WithStore(st))
+			}
+		}
+		servers[i] = NewServer(i, sopts...)
 	}
 	c := &Cluster{
 		system:     system,
 		b:          b,
 		servers:    servers,
+		stores:     stores,
 		seed:       cfg.seed,
 		sequential: cfg.sequential,
 		accesses:   make([]atomic.Int64, n),
@@ -224,6 +258,20 @@ func NewCluster(system core.System, b int, opts ...Option) (*Cluster, error) {
 		c.picker, c.strategy, c.stratLoad = p, st, p.InducedLoad()
 	}
 	return c, nil
+}
+
+// Close releases the storage engines the cluster built through
+// WithStores (a no-op for memory-only clusters). Callers that injected
+// servers through WithTransport keep ownership of whatever those servers
+// hold.
+func (c *Cluster) Close() error {
+	var first error
+	for _, st := range c.stores {
+		if err := st.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Strategy returns the installed access strategy, or nil under uniform

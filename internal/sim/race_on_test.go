@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing-gauge tests skip under it, because its synchronization overhead
+// penalizes concurrency itself and inverts the economics they measure.
+const raceEnabled = true

@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+
+	"bqs/internal/store"
 )
 
 // Timestamp orders writes: lexicographic on (Seq, Writer).
@@ -69,6 +71,15 @@ const (
 	// ByzantineEquivocate answers alternate reads with alternating
 	// fabricated values, so different readers see different states.
 	ByzantineEquivocate
+	// Restart is not a steady state but a transition: applying it kills
+	// and recovers the server in place. The attached store's Reopen runs
+	// the crash-recovery boundary (a durable engine replays its snapshot
+	// and WAL; the in-memory engine comes back empty), the registers are
+	// reloaded from whatever survived, and the server lands on Correct —
+	// or Crashed, if recovery itself fails. Flowing through SetBehavior
+	// lets the existing churn schedules and the wire control frame drive
+	// process-level kill-and-recover cycles on remote servers.
+	Restart
 )
 
 // String names the behavior for logs and tables.
@@ -84,6 +95,8 @@ func (b Behavior) String() string {
 		return "byz-stale"
 	case ByzantineEquivocate:
 		return "byz-equivocate"
+	case Restart:
+		return "restart"
 	default:
 		return fmt.Sprintf("behavior(%d)", int(b))
 	}
@@ -101,7 +114,7 @@ func (b Behavior) IsByzantine() bool {
 // the validity check fault schedules and the wire control frame apply
 // before flipping a server.
 func KnownBehavior(b Behavior) bool {
-	return b >= Correct && b <= ByzantineEquivocate
+	return b >= Correct && b <= Restart
 }
 
 // ParseBehavior maps a behavior name (as printed by Behavior.String, plus
@@ -118,8 +131,10 @@ func ParseBehavior(s string) (Behavior, error) {
 		return ByzantineStale, nil
 	case "byz-equivocate", "equivocate":
 		return ByzantineEquivocate, nil
+	case "restart", "reboot":
+		return Restart, nil
 	}
-	return 0, fmt.Errorf("sim: unknown behavior %q (want correct, crashed, byz-fabricate, byz-stale or byz-equivocate)", s)
+	return 0, fmt.Errorf("sim: unknown behavior %q (want correct, crashed, byz-fabricate, byz-stale, byz-equivocate or restart)", s)
 }
 
 // FabricatedValue is what fabricating servers return; tests assert reads
@@ -144,7 +159,8 @@ type register struct {
 
 // Server is one replica of the keyed object space.
 type Server struct {
-	id int
+	id    int
+	store store.Store // nil: registers live only in memory
 
 	mu       sync.Mutex
 	behavior Behavior
@@ -155,14 +171,55 @@ type Server struct {
 	colludeTS Timestamp
 }
 
-// NewServer returns a correct server with an empty object space.
-func NewServer(id int) *Server {
-	return &Server{
+// ServerOption configures NewServer.
+type ServerOption func(*Server)
+
+// WithStore attaches a storage engine: every applied write is persisted
+// to st before it is acknowledged, the Restart behavior recovers through
+// st.Reopen, and state st already holds (a durable engine opened on an
+// existing data dir) seeds the registers at construction. Without it the
+// server keeps the original memory-only semantics.
+func WithStore(st store.Store) ServerOption {
+	return func(s *Server) { s.store = st }
+}
+
+// NewServer returns a correct server whose object space is whatever its
+// store recovered — empty when no store (or a fresh one) is attached.
+func NewServer(id int, opts ...ServerOption) *Server {
+	s := &Server{
 		id:        id,
 		behavior:  Correct,
 		regs:      make(map[string]*register),
 		colludeTS: Timestamp{Seq: 1 << 40, Writer: -1},
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.loadFromStore()
+	return s
+}
+
+// Store returns the attached storage engine, or nil.
+func (s *Server) Store() store.Store { return s.store }
+
+// loadFromStore rebuilds the registers from the store's current state —
+// the recovery half of a restart, and the startup path for a server
+// reopening an existing data dir. With no store attached the registers
+// come back empty (restart means amnesia without a durable engine). The
+// earliest-write history is gone after a restart, so first is reset to
+// current.
+func (s *Server) loadFromStore() {
+	regs := make(map[string]*register)
+	if s.store != nil {
+		s.store.Range(func(rec store.Record) bool {
+			tv := TaggedValue{Value: rec.Value, TS: Timestamp{Seq: rec.Seq, Writer: int(rec.Writer)}}
+			regs[rec.Key] = &register{current: tv, first: tv, hasFirst: true}
+			return true
+		})
+	}
+	s.mu.Lock()
+	s.regs = regs
+	s.mu.Unlock()
 }
 
 // reg returns key's register, creating it when create is set; a read of a
@@ -179,11 +236,37 @@ func (s *Server) reg(key string, create bool) *register {
 // ID returns the server id.
 func (s *Server) ID() int { return s.id }
 
-// SetBehavior switches the server's fault mode.
+// SetBehavior switches the server's fault mode. Restart is special: it
+// is the kill-and-recover transition, not a state — see restart.
 func (s *Server) SetBehavior(b Behavior) {
+	if b == Restart {
+		s.restart()
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.behavior = b
+}
+
+// restart simulates a process kill and recovery in place: the store's
+// Reopen runs the crash-recovery boundary, the registers reload from
+// whatever survived it, and the server comes back Correct. A server with
+// no store restarts into amnesia, exactly as the pre-store churn engine
+// behaved. If recovery itself fails the server stays Crashed — a replica
+// that cannot read its own log must not serve.
+func (s *Server) restart() {
+	s.mu.Lock()
+	s.behavior = Crashed
+	s.mu.Unlock()
+	if s.store != nil {
+		if err := s.store.Reopen(); err != nil {
+			return
+		}
+	}
+	s.loadFromStore()
+	s.mu.Lock()
+	s.behavior = Correct
+	s.mu.Unlock()
 }
 
 // Behavior returns the current fault mode.
@@ -194,19 +277,35 @@ func (s *Server) Behavior() Behavior {
 }
 
 // HandleWrite applies a timestamped write to key's register. It returns
-// false when the server is unresponsive (crashed). Byzantine servers
-// acknowledge but may discard.
+// false when the server is unresponsive (crashed), or when an attached
+// store could not make the write durable — to the client both read as
+// unresponsiveness, the protocol's correct signal for a write whose
+// durability is unknown. Byzantine servers acknowledge but may discard.
+//
+// Persistence happens before the register update and outside the server
+// lock: holding mu across a disk fsync would serialize concurrent
+// writers and defeat the store's group commit, and applying the register
+// only after Apply returns keeps memory from getting ahead of the log.
 func (s *Server) HandleWrite(key string, tv TaggedValue) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	switch s.behavior {
-	case Crashed:
+	if s.behavior == Crashed {
+		s.mu.Unlock()
 		return false
-	case ByzantineFabricate, ByzantineEquivocate:
-		// Acknowledge without storing faithfully (store anyway; responses
-		// are fabricated regardless).
 	}
+	// ByzantineFabricate/ByzantineEquivocate acknowledge without storing
+	// faithfully (they store anyway; responses are fabricated regardless).
 	s.writes++
+	s.mu.Unlock()
+
+	if s.store != nil {
+		rec := store.Record{Key: key, Value: tv.Value, Seq: tv.TS.Seq, Writer: int64(tv.TS.Writer)}
+		if err := s.store.Apply(rec); err != nil {
+			return false
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	r := s.reg(key, true)
 	if !r.hasFirst {
 		r.first = tv

@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"bqs/internal/store"
+	"bqs/internal/systems"
+)
+
+func TestServerPersistsBeforeAck(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.WithFsync(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	s := NewServer(3, WithStore(st))
+	if !s.HandleWrite("obj", TaggedValue{Value: "v1", TS: Timestamp{Seq: 5, Writer: 1}}) {
+		t.Fatal("write refused")
+	}
+	rec, ok := st.Get("obj")
+	if !ok || rec.Value != "v1" || rec.Seq != 5 || rec.Writer != 1 {
+		t.Fatalf("store after acked write: %+v (ok=%v)", rec, ok)
+	}
+	// A write the store refuses must not be acknowledged: durability
+	// unknown reads as unresponsiveness.
+	st.Close()
+	if s.HandleWrite("obj", TaggedValue{Value: "v2", TS: Timestamp{Seq: 6}}) {
+		t.Fatal("write acked after its store closed")
+	}
+	if s.SnapshotKey("obj").Value != "v1" {
+		t.Fatal("unacked write became visible")
+	}
+}
+
+func TestServerRestartSemantics(t *testing.T) {
+	tv := TaggedValue{Value: "survivor", TS: Timestamp{Seq: 9, Writer: 2}}
+
+	t.Run("durable", func(t *testing.T) {
+		st, err := store.Open(t.TempDir(), store.WithFsync(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		s := NewServer(0, WithStore(st))
+		s.HandleWrite("obj", tv)
+		s.SetBehavior(Crashed)
+		s.SetBehavior(Restart)
+		if got := s.Behavior(); got != Correct {
+			t.Fatalf("behavior after restart: %v", got)
+		}
+		if got := s.SnapshotKey("obj"); got != tv {
+			t.Fatalf("durable server lost state across restart: %+v", got)
+		}
+		got, ok := s.HandleRead(1, "obj")
+		if !ok || got != tv {
+			t.Fatalf("read after restart: %+v (ok=%v)", got, ok)
+		}
+	})
+
+	t.Run("memory-only", func(t *testing.T) {
+		s := NewServer(0)
+		s.HandleWrite("obj", tv)
+		s.SetBehavior(Restart)
+		if got := s.SnapshotKey("obj"); got.Value != "" {
+			t.Fatalf("restart without a store kept state: %+v", got)
+		}
+		if got := s.Behavior(); got != Correct {
+			t.Fatalf("behavior after restart: %v", got)
+		}
+	})
+
+	t.Run("mem store", func(t *testing.T) {
+		s := NewServer(0, WithStore(store.NewMem()))
+		s.HandleWrite("obj", tv)
+		s.SetBehavior(Restart)
+		if got := s.SnapshotKey("obj"); got.Value != "" {
+			t.Fatalf("Mem engine survived its crash boundary: %+v", got)
+		}
+	})
+}
+
+// TestServerStartupRecovery pins the bqs-server startup path: a fresh
+// Server handed a store opened on an existing data dir serves the
+// recovered state.
+func TestServerStartupRecovery(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.WithFsync(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := NewServer(0, WithStore(st))
+	old.HandleWrite("obj", TaggedValue{Value: "persisted", TS: Timestamp{Seq: 3, Writer: 1}})
+	st.Close() // abandon without snapshotting: recovery replays the WAL
+
+	st2, err := store.Open(dir, store.WithFsync(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	s := NewServer(0, WithStore(st2))
+	got, ok := s.HandleRead(1, "obj")
+	if !ok || got.Value != "persisted" || got.TS.Seq != 3 {
+		t.Fatalf("fresh server on recovered store read %+v (ok=%v)", got, ok)
+	}
+}
+
+// TestClusterRestartChurnDurable runs the full protocol across restarts:
+// with durable stores, killing and recovering every server must preserve
+// written values end to end; with amnesiac restarts the registers drain
+// but safety (the protocol's re-vouching) still holds.
+func TestClusterRestartChurnDurable(t *testing.T) {
+	sys, err := systems.NewMaskingThreshold(9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	c, err := NewCluster(sys, 2, WithSeed(11), WithStores(func(id int) (store.Store, error) {
+		return store.Open(filepath.Join(dir, fmt.Sprintf("server-%04d", id)), store.WithFsync(false))
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	w := c.NewClient(1)
+	if err := w.WriteKey(ctx, "obj", "before-restart"); err != nil {
+		t.Fatal(err)
+	}
+	// Kill-and-recover every server, one at a time (never more than one
+	// down, so the quorum system stays available throughout).
+	for i := range c.N() {
+		if err := c.InjectFault(Restart, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.NewClient(2).ReadKey(ctx, "obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != "before-restart" {
+		t.Fatalf("read %q after full rolling restart, want before-restart", got.Value)
+	}
+}
+
+func TestChurnRecoverRestartSchedule(t *testing.T) {
+	cc := ChurnConfig{MTBF: 50, MTTR: 50, Recover: Restart}
+	s, err := cc.Schedule(4, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var downs, restarts, corrects int
+	for _, e := range s.Events() {
+		switch e.Behavior {
+		case Crashed:
+			downs++
+		case Restart:
+			restarts++
+		case Correct:
+			corrects++
+		}
+	}
+	if downs == 0 || restarts == 0 || corrects != 0 {
+		t.Fatalf("recover=restart schedule has %d downs, %d restarts, %d plain recoveries", downs, restarts, corrects)
+	}
+
+	if _, err := (ChurnConfig{MTBF: 50, MTTR: 50, Recover: ByzantineStale}).Schedule(4, 1000, 1); err == nil {
+		t.Fatal("recover behavior other than correct/restart accepted")
+	}
+	if _, err := (ChurnConfig{MTBF: 50, MTTR: 50, Down: Restart}).Schedule(4, 1000, 1); err == nil {
+		t.Fatal("down=restart accepted; restart is a recovery transition")
+	}
+}
+
+func TestParseChurnRecover(t *testing.T) {
+	cc, err := ParseChurn("mtbf=300ms,mttr=100ms,recover=restart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.Recover != Restart {
+		t.Fatalf("Recover = %v, want Restart", cc.Recover)
+	}
+	if _, err := ParseChurn("mtbf=300ms,mttr=100ms,recover=bogus"); err == nil {
+		t.Fatal("bad recover value accepted")
+	}
+}
+
+func TestParseBehaviorRestart(t *testing.T) {
+	b, err := ParseBehavior("restart")
+	if err != nil || b != Restart {
+		t.Fatalf("ParseBehavior(restart) = %v, %v", b, err)
+	}
+	if !KnownBehavior(Restart) {
+		t.Fatal("Restart not a known behavior")
+	}
+	if Restart.String() != "restart" {
+		t.Fatalf("Restart.String() = %q", Restart.String())
+	}
+	if Restart.IsByzantine() {
+		t.Fatal("Restart classified Byzantine")
+	}
+}

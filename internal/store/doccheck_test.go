@@ -1,0 +1,20 @@
+package store
+
+import (
+	"testing"
+
+	"bqs/internal/doccheck"
+)
+
+// TestExportedAPIDocumented is the revive-style comment check of the
+// godoc discipline: every exported symbol of the store package must
+// carry a doc comment.
+func TestExportedAPIDocumented(t *testing.T) {
+	missing, err := doccheck.Missing(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range missing {
+		t.Errorf("exported %s has no doc comment", name)
+	}
+}

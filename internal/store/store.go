@@ -1,0 +1,161 @@
+// Package store is the durability seam behind sim.Server: a pluggable
+// Store holds the replica's applied writes, so what survives a server
+// restart is a property of the chosen engine rather than of the protocol
+// code. The paper's availability model (Definition 3.10, Propositions
+// 4.3-4.5) is about servers that crash and RECOVER; with the seed's bare
+// in-memory map a "recovered" server came back amnesiac, safe only
+// because the [MR98a] protocol re-vouches timestamps on every read. This
+// package makes recovery real: Mem keeps the map semantics (state dies
+// with the process, the zero-cost default), and Disk is a durable engine
+// — an append-only, CRC-checksummed write-ahead log with group-commit
+// fsync batching, periodic snapshots with log truncation, and a recovery
+// path that replays snapshot + log tail, tolerating a torn final record.
+//
+// The unit of storage is a Record: one applied write of the keyed object
+// space, carrying (key, value, timestamp, writerID, signature). Apply is
+// last-writer-wins by timestamp — exactly the register merge rule the
+// protocol runs — so replaying any superset of the log in any order
+// converges to the same state, which is what makes the recovery path
+// (snapshot possibly newer than the log tail, duplicated records after a
+// crashed compaction) correct without coordination.
+package store
+
+import (
+	"errors"
+	"sort"
+	"sync"
+)
+
+// Record is one applied write: the durable form of a key's timestamped
+// register value. Seq and Writer are the [MR98a] timestamp (lexicographic
+// order on the pair); Sig carries the self-verifying signature when the
+// dissemination protocol's authenticated values are in use (empty for the
+// masking protocol, whose values are vouched by quorum intersection
+// instead).
+type Record struct {
+	Key    string
+	Value  string
+	Seq    int64
+	Writer int64
+	Sig    []byte
+}
+
+// After reports whether r's timestamp is strictly newer than u's —
+// lexicographic on (Seq, Writer), the protocol's write order.
+func (r Record) After(u Record) bool {
+	if r.Seq != u.Seq {
+		return r.Seq > u.Seq
+	}
+	return r.Writer > u.Writer
+}
+
+// ErrClosed is returned by operations on a closed store, and handed to
+// writers whose group commit was cut off by Close or Reopen — to the
+// server that means "do not ack", which the protocol reads as
+// unresponsiveness, the correct signal for a write whose durability is
+// unknown.
+var ErrClosed = errors.New("store: closed")
+
+// Store is what sim.Server needs from a storage engine. Implementations
+// must be safe for concurrent use: Apply is called from concurrent
+// request handlers, Get and Range from reads and recovery.
+//
+// Apply persists a record with last-writer-wins timestamp merge and
+// returns only once the record is durable to the engine's standard (a
+// map update for Mem, a group-committed log append for Disk) — the
+// server acks the write after, never before. Snapshot forces a
+// compaction (a no-op for engines without a log). Reopen is the
+// crash-recovery boundary: it drops every process-local structure and
+// rebuilds state exactly as a fresh process would, so a restarted server
+// keeps what the engine made durable and loses what it did not. Close
+// releases resources; a closed store refuses further operations.
+type Store interface {
+	Get(key string) (Record, bool)
+	Apply(rec Record) error
+	Range(fn func(Record) bool)
+	Snapshot() error
+	Reopen() error
+	Close() error
+}
+
+// Mem is the in-memory engine: the seed's bare map behind the Store
+// interface. Nothing is durable — Reopen, the crash-recovery boundary,
+// wipes it — which makes Mem the explicit form of the amnesiac recovery
+// the churn engine had before this package existed.
+type Mem struct {
+	mu     sync.RWMutex
+	m      map[string]Record
+	closed bool
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{m: make(map[string]Record)}
+}
+
+// Get returns the current record for key.
+func (s *Mem) Get(key string) (Record, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.m[key]
+	return rec, ok
+}
+
+// Apply merges rec by timestamp: the stored record only changes when rec
+// is strictly newer.
+func (s *Mem) Apply(rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if cur, ok := s.m[rec.Key]; !ok || rec.After(cur) {
+		s.m[rec.Key] = rec
+	}
+	return nil
+}
+
+// Range calls fn for every stored record, in key order, stopping early
+// when fn returns false. Key order makes iteration deterministic, which
+// recovery-comparison tests rely on.
+func (s *Mem) Range(fn func(Record) bool) {
+	s.mu.RLock()
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	recs := make([]Record, len(keys))
+	for i, k := range keys {
+		recs[i] = s.m[k]
+	}
+	s.mu.RUnlock()
+	for _, rec := range recs {
+		if !fn(rec) {
+			return
+		}
+	}
+}
+
+// Snapshot is a no-op: the map has no log to compact.
+func (s *Mem) Snapshot() error { return nil }
+
+// Reopen simulates a process restart: memory is lost, so the store comes
+// back empty.
+func (s *Mem) Reopen() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.m = make(map[string]Record)
+	return nil
+}
+
+// Close marks the store closed; further Applies fail with ErrClosed.
+func (s *Mem) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}

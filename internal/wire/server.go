@@ -200,29 +200,39 @@ func (s *Server) serveConn(nc net.Conn) {
 }
 
 // handleBatch fans a batch frame across the shard's replicas: each item
-// is dispatched to the replica hosting its server, and the responses
-// align index-by-index with the items. An item for a server this shard
-// does not host — or one whose value cannot travel back — answers
-// Response{OK: false}, per item, exactly as the single-frame path does;
-// degradation is always per item, never per frame, so one huge stored
-// value cannot make the shard's other replicas read as crashed. The
-// returned responses are guaranteed to fit one frame: values are dropped
-// item by item once the running total would exceed MaxFrame (the
-// flags+header floor of every item fits MaxBatchOps many times over).
+// is dispatched to the replica hosting its server — concurrently, because
+// a durable replica may park an item on its store's group commit, and
+// serializing the frame would turn one fsync per frame into one per item
+// — and the responses align index-by-index with the items. An item for a
+// server this shard does not host — or one whose value cannot travel
+// back — answers Response{OK: false}, per item, exactly as the
+// single-frame path does; degradation is always per item, never per
+// frame, so one huge stored value cannot make the shard's other replicas
+// read as crashed. The returned responses are guaranteed to fit one
+// frame: values are dropped item by item once the running total would
+// exceed MaxFrame (the flags+header floor of every item fits MaxBatchOps
+// many times over).
 func (s *Server) handleBatch(items []sim.BatchItem) []sim.Response {
 	out := make([]sim.Response, len(items))
-	total := batchHeaderLen
+	var wg sync.WaitGroup
 	for i, it := range items {
 		if it.Server < 0 {
-			total += respItemMinLen
-			continue // OK: false
+			continue // out[i] stays Response{OK: false}
 		}
-		resp := s.handle(uint32(it.Server), it.Req)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = s.handle(uint32(it.Server), it.Req)
+		}()
+	}
+	wg.Wait()
+	total := batchHeaderLen
+	for i, resp := range out {
 		if len(resp.Value.Value) > MaxValueLen || total+respItemMinLen+len(resp.Value.Value) > MaxFrame {
 			resp = sim.Response{OK: false}
+			out[i] = resp
 		}
 		total += respItemMinLen + len(resp.Value.Value)
-		out[i] = resp
 	}
 	return out
 }
