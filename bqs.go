@@ -8,6 +8,7 @@ import (
 	"bqs/internal/compose"
 	"bqs/internal/core"
 	"bqs/internal/measures"
+	"bqs/internal/obs"
 	"bqs/internal/projective"
 	"bqs/internal/sim"
 	"bqs/internal/store"
@@ -538,7 +539,9 @@ func WithCommitLinger(d time.Duration) DiskOption { return store.WithCommitLinge
 // NewWireServer returns a TCP daemon hosting the given replicas, keyed by
 // global server index. Start it with ListenAndServe or Serve; stop it
 // with Shutdown (graceful) or Close.
-func NewWireServer(replicas map[int]*Server) *WireServer { return wire.NewServer(replicas) }
+func NewWireServer(replicas map[int]*Server, opts ...WireServerOption) *WireServer {
+	return wire.NewServer(replicas, opts...)
+}
 
 // DialWire returns a Transport that routes each probe over TCP to the
 // address hosting that server (global index → "host:port"). Connections
@@ -587,3 +590,61 @@ func CheckRouteCoverage(routes map[int]string, n int) error { return wire.CheckC
 // FabricatedValue is the marker value Byzantine fabricators return in the
 // simulation; reads must never surface it while faults stay within b.
 const FabricatedValue = sim.FabricatedValue
+
+// Observability: the telemetry plane. One MetricsRegistry threads through
+// every layer — cluster (per-op spans, per-server load gauges, the L(Q)
+// and F_p(Q) companions), wire client and server (frames, bytes, batch
+// sizes, dials, version mix) and disk stores (WAL appends, fsync batches,
+// snapshots, recovery time) — and ServeMetrics exposes it over HTTP as
+// Prometheus text, expvar-style JSON and net/http/pprof. Everything is
+// optional: without a registry every instrument call is a nil-receiver
+// no-op and the hot paths stay allocation-free.
+type (
+	// MetricsRegistry is the process-wide instrument registry; see
+	// NewMetricsRegistry.
+	MetricsRegistry = obs.Registry
+	// MetricsServer is the HTTP endpoint ServeMetrics starts.
+	MetricsServer = obs.Server
+	// MetricsHistogram is a fixed-bucket latency/size histogram, exposed
+	// so harness counters can hand registry-backed quantiles around.
+	MetricsHistogram = obs.Histogram
+	// WireServerOption configures NewWireServer (metrics).
+	WireServerOption = wire.ServerOption
+)
+
+// NewMetricsRegistry returns an empty registry. Pass it to WithMetrics
+// (cluster), WithStoreMetrics (durable stores), WithWireMetrics (wire
+// client), WithWireServerMetrics (wire daemon) and ServeMetrics; the same
+// registry may back any number of layers at once.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// WithMetrics instruments a cluster and its clients: per-operation spans
+// (quorum pick, per-phase probe fan-out, retries), per-server live load
+// gauges next to the static L(Q) companions, and the epoch/crash
+// counters behind the live F_p(Q) gauge.
+func WithMetrics(reg *MetricsRegistry) ClusterOption { return sim.WithMetrics(reg) }
+
+// WithStoreMetrics instruments a durable store: WAL appends and bytes,
+// fsync batches (count and records-per-fsync histogram), snapshots and
+// recovery time.
+func WithStoreMetrics(reg *MetricsRegistry) DiskOption { return store.WithMetrics(reg) }
+
+// WithWireMetrics instruments a wire client: frames and bytes by
+// direction, ops per batch frame, dial successes and failures, and the
+// negotiated-version mix.
+func WithWireMetrics(reg *MetricsRegistry) WireDialOption { return wire.WithMetrics(reg) }
+
+// WithWireServerMetrics is WithWireMetrics for the daemon side, plus a
+// live open-connections gauge.
+func WithWireServerMetrics(reg *MetricsRegistry) WireServerOption {
+	return wire.WithServerMetrics(reg)
+}
+
+// ServeMetrics binds addr (e.g. "127.0.0.1:9100") and serves the
+// registry: /metrics (Prometheus text), /vars (JSON), /events (recent
+// annotated events), /debug/vars (expvar) and /debug/pprof/*. Returns
+// the running server; its Addr method reports the bound address (useful
+// with port 0) and Close stops it.
+func ServeMetrics(addr string, reg *MetricsRegistry) (*MetricsServer, error) {
+	return obs.Serve(addr, reg)
+}

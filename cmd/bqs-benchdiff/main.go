@@ -1,0 +1,117 @@
+// bqs-benchdiff compares two benchmark-snapshot files (the -bench-json
+// output of bqs-sim and bqs-client) and reports per-configuration
+// throughput deltas. CI runs it against the committed trajectory in
+// bench/ so a change that quietly halves ops/s shows up in the job log
+// before it lands.
+//
+// Usage:
+//
+//	bqs-benchdiff [-threshold 0.5] [-strict] old.json new.json
+//
+// Snapshots are matched by configuration key (label, system, masking
+// bound, store engine, client count, batch size). For each pair the tool
+// prints old and new ops/s with the ratio; a pair whose ratio falls
+// below -threshold is flagged with WARN. The threshold is deliberately
+// soft (default 0.5): shared CI runners jitter by tens of percent, so
+// the default mode warns without failing. -strict exits 1 on any WARN —
+// the mode for quiet dedicated hardware.
+//
+// Configurations present on only one side are listed but never fail the
+// run: new benchmarks and retired benchmarks are both normal.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"bqs/internal/harness"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.5, "warn when new/old ops-per-second falls below this ratio")
+	strict := flag.Bool("strict", false, "exit 1 if any configuration warns (default: report only)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: bqs-benchdiff [flags] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	oldSnaps, err := harness.ReadBenchJSON(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newSnaps, err := harness.ReadBenchJSON(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	oldByKey := index(oldSnaps)
+	newByKey := index(newSnaps)
+
+	keys := make([]string, 0, len(oldByKey))
+	for k := range oldByKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	warned := false
+	for _, k := range keys {
+		o := oldByKey[k]
+		n, ok := newByKey[k]
+		if !ok {
+			fmt.Printf("GONE  %-40s old %10.0f ops/s (no new measurement)\n", k, o.OpsPerSec)
+			continue
+		}
+		delete(newByKey, k)
+		ratio := 0.0
+		if o.OpsPerSec > 0 {
+			ratio = n.OpsPerSec / o.OpsPerSec
+		}
+		status := "ok   "
+		if ratio < *threshold {
+			status = "WARN "
+			warned = true
+		}
+		fmt.Printf("%s %-40s old %10.0f → new %10.0f ops/s  (%.2fx)\n",
+			status, k, o.OpsPerSec, n.OpsPerSec, ratio)
+	}
+	newKeys := make([]string, 0, len(newByKey))
+	for k := range newByKey {
+		newKeys = append(newKeys, k)
+	}
+	sort.Strings(newKeys)
+	for _, k := range newKeys {
+		fmt.Printf("NEW   %-40s new %10.0f ops/s (no baseline)\n", k, newByKey[k].OpsPerSec)
+	}
+
+	if warned {
+		fmt.Printf("\nthroughput fell below %.2fx of the committed trajectory for at least one configuration\n", *threshold)
+		if *strict {
+			os.Exit(1)
+		}
+		fmt.Println("(soft warning: rerun on quiet hardware or refresh bench/trajectory.json if the change is intended)")
+	}
+}
+
+// index keys each snapshot by the fields that identify a configuration.
+// A later duplicate key overwrites an earlier one — the last measurement
+// of a configuration in a file wins.
+func index(snaps []harness.BenchSnapshot) map[string]harness.BenchSnapshot {
+	m := make(map[string]harness.BenchSnapshot, len(snaps))
+	for _, s := range snaps {
+		k := fmt.Sprintf("%s/%s/b=%d/%s/c=%d/batch=%d", s.Label, s.System, s.B, s.Store, s.Clients, s.Batch)
+		m[k] = s
+	}
+	return m
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bqs-benchdiff:", err)
+	os.Exit(1)
+}

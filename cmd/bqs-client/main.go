@@ -73,6 +73,7 @@ func run() error {
 	suspicionTTL := flag.Duration("suspicion-ttl", 0, "client suspicion TTL so recovered servers regain traffic (0 = auto: 50ms when churn is active)")
 	benchJSON := flag.String("bench-json", "", "write the run's benchmark snapshot (ops/s, p50/p99, measured load) as JSON to this path")
 	storeLabel := flag.String("store-label", "memory", "store engine label recorded in -bench-json output (set to durable when the daemons run -data-dir)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry on this address: /metrics (Prometheus), /vars, /events, /debug/pprof")
 	flag.Parse()
 
 	sys, err := harness.BuildSystem(*system, *b)
@@ -91,12 +92,25 @@ func run() error {
 	if err := bqs.CheckRouteCoverage(table, n); err != nil {
 		return err
 	}
-	tr, err := bqs.DialWire(table, bqs.WithWirePoolSize(*poolSize), bqs.WithWireVersion(*wireVersion))
+	// The registry always exists — instruments are cheap and the bench
+	// snapshot reads its latency histograms — but the HTTP endpoint only
+	// binds under -metrics-addr.
+	reg := bqs.NewMetricsRegistry()
+	if *metricsAddr != "" {
+		ms, err := bqs.ServeMetrics(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ms.Close()
+		fmt.Printf("metrics: http://%s/metrics (also /vars, /events, /debug/pprof)\n", ms.Addr())
+	}
+	tr, err := bqs.DialWire(table, bqs.WithWirePoolSize(*poolSize),
+		bqs.WithWireVersion(*wireVersion), bqs.WithWireMetrics(reg))
 	if err != nil {
 		return err
 	}
 	defer tr.Close()
-	opts := []bqs.ClusterOption{bqs.WithSeed(*seed),
+	opts := []bqs.ClusterOption{bqs.WithSeed(*seed), bqs.WithMetrics(reg),
 		bqs.WithTransport(func([]*bqs.Server) bqs.Transport { return tr })}
 	stratOpt, err := harness.StrategyOption(*strategy)
 	if err != nil {
@@ -132,7 +146,7 @@ func run() error {
 	// deployment itself — each flip is a control frame to the shard
 	// hosting the server, so the same timeline that drives an in-memory
 	// run drives the live TCP fleet.
-	driver := harness.StartChurn(tr, schedule, ttl)
+	driver := harness.StartChurn(tr, schedule, ttl, reg)
 	counters := harness.Run(cluster, w)
 	if err := driver.Stop(); err != nil {
 		return err

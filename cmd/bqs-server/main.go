@@ -53,18 +53,28 @@ func run() error {
 	grace := flag.Duration("grace", 5*time.Second, "graceful shutdown budget on SIGINT/SIGTERM")
 	dataDir := flag.String("data-dir", "", "durable state root: each replica persists to DIR/server-NNNN and recovers it on restart (empty = in-memory)")
 	fsync := flag.Bool("fsync", true, "fsync each durable group commit (only with -data-dir)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry on this address: /metrics (Prometheus), /vars, /events, /debug/pprof")
 	flag.Parse()
 
 	ids, err := bqs.ParseIDRange(*servers)
 	if err != nil {
 		return err
 	}
+	reg := bqs.NewMetricsRegistry()
+	if *metricsAddr != "" {
+		ms, err := bqs.ServeMetrics(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ms.Close()
+		fmt.Printf("bqs-server: metrics on http://%s/metrics (also /vars, /events, /debug/pprof)\n", ms.Addr())
+	}
 	replicas := make(map[int]*bqs.Server, len(ids))
 	for _, id := range ids {
 		var opts []bqs.ServerOption
 		if *dataDir != "" {
 			st, err := bqs.OpenDiskStore(filepath.Join(*dataDir, fmt.Sprintf("server-%04d", id)),
-				bqs.WithFsync(*fsync))
+				bqs.WithFsync(*fsync), bqs.WithStoreMetrics(reg))
 			if err != nil {
 				return fmt.Errorf("server %d: %w", id, err)
 			}
@@ -81,7 +91,7 @@ func run() error {
 		return err
 	}
 
-	srv := bqs.NewWireServer(replicas)
+	srv := bqs.NewWireServer(replicas, bqs.WithWireServerMetrics(reg))
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(*listen) }()
 	fmt.Printf("bqs-server: hosting servers %s on %s (byzantine=[%s] crashed=[%s])\n",

@@ -103,6 +103,7 @@ func run() error {
 	dataDir := flag.String("data-dir", "", "back every server with a durable WAL+snapshot store under DIR/server-NNNN (empty = in-memory registers)")
 	fsync := flag.Bool("fsync", true, "fsync each durable group commit (only with -data-dir)")
 	benchJSON := flag.String("bench-json", "", "write the run's benchmark snapshot (ops/s, p50/p99, measured load) as JSON to this path")
+	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry on this address: /metrics (Prometheus), /vars, /events, /debug/pprof")
 	flag.Parse()
 
 	sys, err := harness.BuildSystem(*system, *b)
@@ -112,6 +113,19 @@ func run() error {
 	fmt.Printf("system: %s (n=%d, b=%d, f=%d)\n",
 		sys.Name(), sys.UniverseSize(), *b, bqs.Resilience(sys))
 
+	// The registry always exists — instruments are cheap and the bench
+	// snapshot reads its latency histograms — but the HTTP endpoint only
+	// binds under -metrics-addr.
+	reg := bqs.NewMetricsRegistry()
+	if *metricsAddr != "" {
+		ms, err := bqs.ServeMetrics(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ms.Close()
+		fmt.Printf("metrics: http://%s/metrics (also /vars, /events, /debug/pprof)\n", ms.Addr())
+	}
+
 	if *availability != "" {
 		// The availability experiment defines its own workload and fault
 		// model; silently dropping other explicitly-set flags would hand
@@ -119,7 +133,7 @@ func run() error {
 		if conflicts := availabilityFlagConflicts(); len(conflicts) > 0 {
 			return fmt.Errorf("-availability is a standalone experiment (only -system, -b and -seed compose with it); drop -%s", strings.Join(conflicts, ", -"))
 		}
-		return runAvailability(sys, *b, *availability, *seed)
+		return runAvailability(sys, *b, *availability, *seed, reg)
 	}
 
 	schedule, err := harness.BuildSchedule(*faultSchedule, *churn, sys.UniverseSize(), *duration, *seed)
@@ -128,7 +142,8 @@ func run() error {
 	}
 	ttl := harness.ChurnTTL(schedule, *suspicionTTL)
 
-	opts := []bqs.ClusterOption{bqs.WithSeed(*seed), bqs.WithDropRate(*drop), bqs.WithLatency(*latency, *jitter)}
+	opts := []bqs.ClusterOption{bqs.WithSeed(*seed), bqs.WithDropRate(*drop),
+		bqs.WithLatency(*latency, *jitter), bqs.WithMetrics(reg)}
 	stratOpt, err := harness.StrategyOption(*strategy)
 	if err != nil {
 		return err
@@ -156,7 +171,8 @@ func run() error {
 		storeLabel = "durable"
 		dir, syncOn := *dataDir, *fsync
 		opts = append(opts, bqs.WithStores(func(id int) (bqs.Store, error) {
-			return bqs.OpenDiskStore(filepath.Join(dir, fmt.Sprintf("server-%04d", id)), bqs.WithFsync(syncOn))
+			return bqs.OpenDiskStore(filepath.Join(dir, fmt.Sprintf("server-%04d", id)),
+				bqs.WithFsync(syncOn), bqs.WithStoreMetrics(reg))
 		}))
 	}
 	cluster, err := bqs.NewCluster(sys, *b, opts...)
@@ -191,7 +207,7 @@ func run() error {
 
 	// The churn engine runs beside the workload, cancelled at the run
 	// boundary if events remain.
-	driver := harness.StartChurn(cluster, schedule, ttl)
+	driver := harness.StartChurn(cluster, schedule, ttl, reg)
 	counters := harness.Run(cluster, w)
 	if err := driver.Stop(); err != nil {
 		return err
@@ -238,7 +254,7 @@ func run() error {
 // availabilityFlagConflicts returns the explicitly-set flags that
 // -availability mode would otherwise silently ignore.
 func availabilityFlagConflicts() []string {
-	allowed := map[string]bool{"system": true, "b": true, "seed": true, "availability": true}
+	allowed := map[string]bool{"system": true, "b": true, "seed": true, "availability": true, "metrics-addr": true}
 	var out []string
 	flag.Visit(func(f *flag.Flag) {
 		if !allowed[f.Name] {
@@ -252,11 +268,12 @@ func availabilityFlagConflicts() []string {
 // system-crash rate through the live engine and hold it against the
 // analytic F_p(Q) ladder, failing beyond 3σ of the exact value. The
 // global -seed seeds the experiment unless the spec's seed= overrides it.
-func runAvailability(sys harness.System, b int, spec string, seed int64) error {
+func runAvailability(sys harness.System, b int, spec string, seed int64, reg *bqs.MetricsRegistry) error {
 	cfg, err := harness.ParseAvailabilitySpec(spec, seed)
 	if err != nil {
 		return err
 	}
+	cfg.Registry = reg
 	fmt.Printf("availability: p=%g over %d epochs (seed %d)\n", cfg.P, cfg.Epochs, cfg.Seed)
 	res, err := harness.RunAvailability(sys, b, cfg)
 	if err != nil {

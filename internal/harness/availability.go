@@ -42,6 +42,14 @@ type AvailabilityConfig struct {
 	Seed int64
 	// MCTrials sizes the CrashProbabilityMC companion (default 100000).
 	MCTrials int
+	// Registry, when set, instruments the experiment's cluster: every
+	// epoch bumps bqs_system_epochs_total, every ErrNoLiveQuorum epoch
+	// bumps bqs_system_crash_epochs_total, and the live
+	// bqs_system_crash_rate gauge is their ratio — Definition 3.10
+	// observed in real time. When the exact F_p(Q) is computable the
+	// bqs_system_exact_crash_rate gauge is set next to it, so a /metrics
+	// scrape shows the empirical rate converging on the analytic value.
+	Registry *bqs.MetricsRegistry
 }
 
 // ParseAvailabilitySpec parses the CLI form "p=0.1,epochs=2000" with
@@ -135,7 +143,11 @@ const availabilityEnumLimit = 1 << 17
 // and aborts the experiment.
 func RunAvailability(sys System, b int, cfg AvailabilityConfig) (AvailabilityResult, error) {
 	n := sys.UniverseSize()
-	cluster, err := bqs.NewCluster(sys, b, bqs.WithSeed(cfg.Seed), bqs.WithDeterministic())
+	opts := []bqs.ClusterOption{bqs.WithSeed(cfg.Seed), bqs.WithDeterministic()}
+	if cfg.Registry != nil {
+		opts = append(opts, bqs.WithMetrics(cfg.Registry))
+	}
+	cluster, err := bqs.NewCluster(sys, b, opts...)
 	if err != nil {
 		return AvailabilityResult{}, err
 	}
@@ -170,6 +182,9 @@ func RunAvailability(sys System, b int, cfg AvailabilityConfig) (AvailabilityRes
 	if en, err := bqs.AsEnumerable(sys, availabilityEnumLimit); err == nil {
 		if exact, err := bqs.CrashProbabilityExact(en, cfg.P); err == nil {
 			res.Exact, res.ExactOK = exact, true
+			if cfg.Registry != nil {
+				cfg.Registry.Gauge("bqs_system_exact_crash_rate").Set(exact)
+			}
 		}
 	}
 	mcTrials := cfg.MCTrials

@@ -12,13 +12,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"bqs"
+	"bqs/internal/obs"
 )
 
 // System is what the harnesses need from a construction: quorum selection
@@ -154,14 +154,29 @@ type ChurnDriver struct {
 // the Flipper (a Cluster in bqs-sim, the wire transport in bqs-client).
 // With no churn configured (a nil or empty schedule) it returns a nil
 // driver, whose Stop is a no-op — call sites need no churn-or-not
-// branching.
-func StartChurn(f bqs.Flipper, s *bqs.FaultSchedule, ttl time.Duration) *ChurnDriver {
+// branching. A non-nil registry gets the live fault-injection series:
+// bqs_churn_flips_total{to=<behavior>} per applied flip (so the version
+// mix of crash/restart/byzantine transitions is scrapable mid-run),
+// bqs_churn_misses_total per flip the controller could not deliver, and
+// an annotated event per miss.
+func StartChurn(f bqs.Flipper, s *bqs.FaultSchedule, ttl time.Duration, reg *bqs.MetricsRegistry) *ChurnDriver {
 	if s.Len() == 0 {
 		return nil
 	}
 	fmt.Printf("churn: driving %d flips over %v (suspicion-ttl %v)\n", s.Len(), s.Horizon(), ttl)
 	ctx, cancel := context.WithCancel(context.Background())
 	d := &ChurnDriver{fc: bqs.NewFaultController(f, s), cancel: cancel, done: make(chan error, 1)}
+	if reg != nil {
+		misses := reg.Counter("bqs_churn_misses_total")
+		d.fc.OnFlip = func(ev bqs.FaultEvent, err error) {
+			if err != nil {
+				misses.Inc()
+				reg.Eventf("churn: flip %v missed: %v", ev, err)
+				return
+			}
+			reg.Counter("bqs_churn_flips_total", "to", ev.Behavior.String()).Inc()
+		}
+	}
 	go func() { d.done <- d.fc.Run(ctx) }()
 	return d
 }
@@ -234,64 +249,24 @@ type Counters struct {
 	Failures      int64 // errored operations (deadline, retries exhausted, …)
 	Violations    int64 // reads that surfaced a fabricated value
 	Elapsed       time.Duration
-	// LatencySamples holds issue-to-completion times of successful
-	// operations, sorted ascending — a bounded reservoir sample when the
-	// run outgrows the capture limit, so quantiles stay honest at any run
-	// length. See LatencyQuantile.
-	LatencySamples []time.Duration
+	// ReadLatency and WriteLatency are the cluster registry's per-op
+	// latency histograms (bqs_client_read_seconds /
+	// bqs_client_write_seconds), captured by Run so reports and bench
+	// snapshots read quantiles from the same instruments the /metrics
+	// endpoint exposes — one data source, no private reservoir. Nil when
+	// the cluster was built without bqs.WithMetrics; quantiles then
+	// report 0. Note the histograms span the cluster's lifetime: a second
+	// Run over the same cluster folds the first run's samples in.
+	ReadLatency, WriteLatency *obs.Histogram
 }
 
-// LatencyQuantile returns the q-quantile (0 ≤ q ≤ 1) of the captured
-// operation latencies, or 0 when none were captured. q=0.5 is the median
-// p50, q=0.99 the tail p99 of the bench snapshots.
+// LatencyQuantile returns the q-quantile (0 ≤ q ≤ 1) of the merged
+// read+write operation-latency distribution, or 0 when the cluster was
+// not instrumented. q=0.5 is the median p50, q=0.99 the tail p99 of the
+// bench snapshots. The estimate is histogram-backed, exact to within one
+// bucket (≤19% relative with obs.DurationBuckets).
 func (c Counters) LatencyQuantile(q float64) time.Duration {
-	if len(c.LatencySamples) == 0 {
-		return 0
-	}
-	i := int(q * float64(len(c.LatencySamples)-1))
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(c.LatencySamples) {
-		i = len(c.LatencySamples) - 1
-	}
-	return c.LatencySamples[i]
-}
-
-// latencyCap bounds how many latency samples one client retains; past it
-// the client switches to reservoir replacement, keeping a uniform sample
-// of its whole run.
-const latencyCap = 1 << 14
-
-// latencyReservoir is a per-client uniform sample of operation
-// latencies: the first latencyCap observations are kept outright, after
-// which observation t replaces a random held sample with probability
-// cap/t — the classic reservoir scheme, so quantiles computed from the
-// sample estimate the full run's. One goroutine per client writes into
-// it through the owning client's mutex (session watchers complete
-// concurrently), and merge collects every client's sample at the end.
-type latencyReservoir struct {
-	mu      sync.Mutex
-	samples []time.Duration
-	seen    int64
-	rng     *rand.Rand
-}
-
-func newLatencyReservoir(seed int64) *latencyReservoir {
-	return &latencyReservoir{rng: rand.New(rand.NewSource(seed))}
-}
-
-func (r *latencyReservoir) add(d time.Duration) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.seen++
-	if len(r.samples) < latencyCap {
-		r.samples = append(r.samples, d)
-		return
-	}
-	if j := r.rng.Int63n(r.seen); j < latencyCap {
-		r.samples[j] = d
-	}
+	return obs.DurationQuantile(q, c.ReadLatency, c.WriteLatency)
 }
 
 // Total is every operation that ran to an outcome — the attempted count.
@@ -325,7 +300,6 @@ func Run(cluster *bqs.Cluster, w Workload) Counters {
 		violations, noCandidates atomic.Int64
 		failures                 atomic.Int64
 	)
-	lats := make([]*latencyReservoir, w.Clients)
 	start := time.Now()
 	runCtx, endRun := context.Background(), context.CancelFunc(func() {})
 	if w.Duration > 0 {
@@ -342,14 +316,12 @@ func Run(cluster *bqs.Cluster, w Workload) Counters {
 			// for a given seed.
 			rng := rand.New(rand.NewSource(w.Seed + (int64(id)+1)*0x9e3779b9))
 			keyOf := w.Dist.Sampler(w.Keys, rng)
-			lat := newLatencyReservoir(w.Seed + (int64(id)+1)*0x6a09e667)
-			lats[id] = lat
-			// record tallies one completed operation (d is its
-			// issue-to-completion time, sampled for the latency quantiles on
-			// success); it reports true when the operation was cut off at
+			// record tallies one completed operation (latency is observed
+			// inside the client protocol itself, into the cluster registry's
+			// histograms); it reports true when the operation was cut off at
 			// the run boundary, which ends the client without counting the
 			// op as an outcome.
-			record := func(read bool, got bqs.TaggedValue, err error, d time.Duration) bool {
+			record := func(read bool, got bqs.TaggedValue, err error) bool {
 				switch {
 				case read && errors.Is(err, bqs.ErrNoCandidate):
 					noCandidates.Add(1)
@@ -361,10 +333,8 @@ func Run(cluster *bqs.Cluster, w Workload) Counters {
 					violations.Add(1)
 				case read:
 					reads.Add(1)
-					lat.add(d)
 				default:
 					writes.Add(1)
-					lat.add(d)
 				}
 				return false
 			}
@@ -385,40 +355,38 @@ func Run(cluster *bqs.Cluster, w Workload) Counters {
 				if w.Timeout > 0 {
 					opCtx, cancel = context.WithTimeout(runCtx, w.Timeout)
 				}
-				opStart := time.Now()
 				if (id+op)%2 == 0 {
 					err := cl.WriteKey(opCtx, key, fmt.Sprintf("c%d-op%04d", id, op))
 					cancel()
-					if record(false, bqs.TaggedValue{}, err, time.Since(opStart)) {
+					if record(false, bqs.TaggedValue{}, err) {
 						return
 					}
 					continue
 				}
 				got, err := cl.ReadKey(opCtx, key)
 				cancel()
-				if record(true, got, err, time.Since(opStart)) {
+				if record(true, got, err) {
 					return
 				}
 			}
 		}(id)
 	}
 	wg.Wait()
-	var samples []time.Duration
-	for _, lat := range lats {
-		if lat != nil {
-			samples = append(samples, lat.samples...)
-		}
+	c := Counters{
+		Reads:        reads.Load(),
+		Writes:       writes.Load(),
+		NoCandidates: noCandidates.Load(),
+		Failures:     failures.Load(),
+		Violations:   violations.Load(),
+		Elapsed:      time.Since(start),
 	}
-	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	return Counters{
-		Reads:          reads.Load(),
-		Writes:         writes.Load(),
-		NoCandidates:   noCandidates.Load(),
-		Failures:       failures.Load(),
-		Violations:     violations.Load(),
-		Elapsed:        time.Since(start),
-		LatencySamples: samples,
+	if reg := cluster.Registry(); reg != nil {
+		// Get-or-create returns the very histograms the clients observed
+		// into, so the quantiles below and a /metrics scrape agree exactly.
+		c.ReadLatency = reg.Histogram("bqs_client_read_seconds", obs.DurationBuckets)
+		c.WriteLatency = reg.Histogram("bqs_client_write_seconds", obs.DurationBuckets)
 	}
+	return c
 }
 
 // runSession is Run's batched mode for one client: keep w.Batch
@@ -426,7 +394,7 @@ func Run(cluster *bqs.Cluster, w Workload) Counters {
 // repeat. Window boundaries are also flush boundaries, so every frame
 // the batcher sends is as full as the workload allows.
 func runSession(runCtx context.Context, cl *bqs.Client, w Workload, id int,
-	keyOf func() int, record func(bool, bqs.TaggedValue, error, time.Duration) bool) {
+	keyOf func() int, record func(bool, bqs.TaggedValue, error) bool) {
 	sess := cl.NewSession(bqs.WithSessionBatch(w.Batch))
 	defer sess.Close()
 	type pendingOp struct {
@@ -434,22 +402,11 @@ func runSession(runCtx context.Context, cl *bqs.Client, w Workload, id int,
 		rf     *bqs.ReadFuture
 		wf     *bqs.WriteFuture
 		cancel context.CancelFunc
-		start  time.Time
-		end    chan time.Time // stamped by a watcher at future completion
 	}
-	// watch stamps the future's completion time from its Done channel:
-	// the wait loop below retires the window in issue order, so an op's
-	// Wait-return time can be long after the op itself finished, and
-	// using it would inflate the latency sample of every fast op stuck
-	// behind a slow one.
-	watch := func(done <-chan struct{}) chan time.Time {
-		ch := make(chan time.Time, 1)
-		go func() {
-			<-done
-			ch <- time.Now()
-		}()
-		return ch
-	}
+	// Latency is stamped inside the client protocol at op completion (not
+	// at Wait-return, which retires the window in issue order and would
+	// inflate every fast op stuck behind a slow one), so this loop only
+	// tallies outcomes.
 	for op := 0; ; {
 		if w.Duration > 0 {
 			if runCtx.Err() != nil {
@@ -469,17 +426,12 @@ func runSession(runCtx context.Context, cl *bqs.Client, w Workload, id int,
 			if w.Timeout > 0 {
 				opCtx, cancel = context.WithTimeout(runCtx, w.Timeout)
 			}
-			opStart := time.Now()
 			if (id+op+j)%2 == 0 {
 				wf := sess.WriteAsync(opCtx, key, fmt.Sprintf("c%d-op%04d", id, op+j))
-				window = append(window, pendingOp{
-					wf: wf, cancel: cancel, start: opStart, end: watch(wf.Done()),
-				})
+				window = append(window, pendingOp{wf: wf, cancel: cancel})
 			} else {
 				rf := sess.ReadAsync(opCtx, key)
-				window = append(window, pendingOp{
-					read: true, rf: rf, cancel: cancel, start: opStart, end: watch(rf.Done()),
-				})
+				window = append(window, pendingOp{read: true, rf: rf, cancel: cancel})
 			}
 		}
 		op += k
@@ -488,12 +440,12 @@ func runSession(runCtx context.Context, cl *bqs.Client, w Workload, id int,
 			if p.read {
 				got, err := p.rf.Wait()
 				p.cancel()
-				stop = record(true, got, err, (<-p.end).Sub(p.start)) || stop
+				stop = record(true, got, err) || stop
 				continue
 			}
 			err := p.wf.Wait()
 			p.cancel()
-			stop = record(false, bqs.TaggedValue{}, err, (<-p.end).Sub(p.start)) || stop
+			stop = record(false, bqs.TaggedValue{}, err) || stop
 		}
 		if stop {
 			return
@@ -523,6 +475,12 @@ func Report(cluster *bqs.Cluster, sys System, b int, c Counters) Summary {
 	fmt.Printf("throughput: %d ok ops in %v = %.0f ops/s (%d attempted = %.0f ops/s)\n",
 		c.Succeeded(), c.Elapsed.Round(time.Millisecond), float64(c.Succeeded())/secs,
 		c.Total(), float64(c.Total())/secs)
+	if c.ReadLatency.Count()+c.WriteLatency.Count() > 0 {
+		fmt.Printf("latency:    p50 %v, p95 %v, p99 %v\n",
+			c.LatencyQuantile(0.50).Round(time.Microsecond),
+			c.LatencyQuantile(0.95).Round(time.Microsecond),
+			c.LatencyQuantile(0.99).Round(time.Microsecond))
+	}
 	n := sys.UniverseSize()
 	s := Summary{
 		Peak:         cluster.PeakLoad(),

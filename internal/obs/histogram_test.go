@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestHistogramBuckets pins the boundary convention: bucket i counts
+// v <= bounds[i] (Prometheus le-semantics), with an overflow bucket.
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	bounds, cums := h.buckets()
+	if len(bounds) != 3 || len(cums) != 4 {
+		t.Fatalf("buckets: %v, %v", bounds, cums)
+	}
+	// le=1: {0.5, 1}; le=2: +{1.5, 2}; le=4: +{3, 4}; +Inf: +{100}.
+	want := []int64{2, 4, 6, 7}
+	for i, w := range want {
+		if cums[i] != w {
+			t.Fatalf("cums = %v, want %v", cums, want)
+		}
+	}
+	if h.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", h.Count())
+	}
+	if h.Sum() != 0.5+1+1.5+2+3+4+100 {
+		t.Fatalf("Sum = %v", h.Sum())
+	}
+}
+
+// TestQuantileAgainstExact is the quantile-agreement regression test: on
+// a known distribution the histogram quantile must land within one
+// bucket's resolution of the exact order-statistic quantile. With
+// DurationBuckets (2^(1/4) growth) one bucket is ≤19% relative error.
+func TestQuantileAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := NewHistogram(DurationBuckets)
+	const n = 20000
+	samples := make([]float64, n)
+	for i := range samples {
+		// Log-uniform over [100µs, 100ms] — latency-shaped, spanning many
+		// buckets.
+		v := 1e-4 * math.Pow(1000, rng.Float64())
+		samples[i] = v
+		h.Observe(v)
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	exact := func(q float64) float64 {
+		return sorted[int(math.Ceil(q*float64(n)))-1]
+	}
+	step := math.Pow(2, 0.25) // one bucket's growth factor
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		got, want := h.Quantile(q), exact(q)
+		// The histogram reports the bucket's upper bound, so got >= want
+		// always, and got < want * step (one bucket above).
+		if got < want || got > want*step*1.0001 {
+			t.Errorf("q=%v: histogram %v vs exact %v (allowed [%v, %v])",
+				q, got, want, want, want*step)
+		}
+	}
+}
+
+// TestQuantileEdges pins the degenerate cases.
+func TestQuantileEdges(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	h.Observe(0.5)
+	if q := h.Quantile(0); q != 1 {
+		t.Fatalf("q=0 with one sample in bucket le=1: got %v, want 1", q)
+	}
+	if q := h.Quantile(1); q != 1 {
+		t.Fatalf("q=1: got %v, want 1", q)
+	}
+	// Overflow observations clamp to the last finite bound.
+	h2 := NewHistogram([]float64{1, 2})
+	h2.Observe(50)
+	if q := h2.Quantile(0.99); q != 2 {
+		t.Fatalf("overflow quantile = %v, want clamp to 2", q)
+	}
+}
+
+// TestQuantileOfMerged pins the merged read+write quantile used by
+// harness.Counters.LatencyQuantile: merging must weight by count, skip
+// nil histograms, and reject mismatched layouts.
+func TestQuantileOfMerged(t *testing.T) {
+	a := NewHistogram([]float64{1, 2, 4})
+	b := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 90; i++ {
+		a.Observe(0.5) // bucket le=1
+	}
+	for i := 0; i < 10; i++ {
+		b.Observe(3) // bucket le=4
+	}
+	if q := QuantileOf(0.5, a, b); q != 1 {
+		t.Fatalf("merged p50 = %v, want 1", q)
+	}
+	if q := QuantileOf(0.95, a, b); q != 4 {
+		t.Fatalf("merged p95 = %v, want 4", q)
+	}
+	if q := QuantileOf(0.5, nil, a, nil); q != 1 {
+		t.Fatalf("nil-skipping p50 = %v, want 1", q)
+	}
+	if q := QuantileOf(0.5); q != 0 {
+		t.Fatalf("no histograms: %v, want 0", q)
+	}
+	if d := DurationQuantile(0.5, nil); d != 0 {
+		t.Fatalf("DurationQuantile over nil = %v", d)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched layouts did not panic")
+		}
+	}()
+	QuantileOf(0.5, a, NewHistogram([]float64{1}))
+}
+
+// TestObserveDuration pins the seconds conversion end to end.
+func TestObserveDuration(t *testing.T) {
+	h := NewHistogram(DurationBuckets)
+	h.ObserveDuration(10 * time.Millisecond)
+	got := DurationQuantile(0.5, h)
+	if got < 10*time.Millisecond || got > 12*time.Millisecond {
+		t.Fatalf("10ms observation reads back as %v", got)
+	}
+}
+
+// TestExpBuckets pins the generator the default layouts come from.
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 5)
+	want := []float64{1, 2, 4, 8, 16}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", b, want)
+		}
+	}
+	if len(DurationBuckets) != 108 || len(SizeBuckets) != 13 {
+		t.Fatalf("default layouts: %d duration, %d size buckets",
+			len(DurationBuckets), len(SizeBuckets))
+	}
+	if SizeBuckets[len(SizeBuckets)-1] != 4096 {
+		t.Fatalf("SizeBuckets top = %v, want 4096", SizeBuckets[len(SizeBuckets)-1])
+	}
+}

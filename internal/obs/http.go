@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the telemetry HTTP handler for r:
+//
+//	/metrics      Prometheus text exposition
+//	/vars         registry as JSON (expvar flavor)
+//	/events       the ring-buffer event log, oldest first
+//	/debug/vars   standard expvar output (cmdline, memstats) + "bqs" key
+//	/debug/pprof  net/http/pprof profiling endpoints
+//
+// The handler is safe with a nil Registry (endpoints render empty data).
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/vars", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		r.WriteJSON(w)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, ev := range r.Events() {
+			fmt.Fprintf(w, "%s %s\n", ev.At.Format(time.RFC3339Nano), ev.Msg)
+		}
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		// Standard expvar members (cmdline, memstats) plus this registry
+		// under "bqs". Rendered by hand because expvar.Handler cannot be
+		// extended per-registry without global Publish state.
+		fmt.Fprintf(w, "{\n")
+		expvar.Do(func(kv expvar.KeyValue) {
+			fmt.Fprintf(w, "%q: %s,\n", kv.Key, kv.Value)
+		})
+		fmt.Fprintf(w, "%q: ", "bqs")
+		r.WriteJSON(w)
+		fmt.Fprintf(w, "}\n")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "bqs telemetry\n\n/metrics\n/vars\n/events\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Server is a live telemetry endpoint started by Serve.
+type Server struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP server on addr (use ":0" or "127.0.0.1:0" for an
+// ephemeral port) exposing Handler(r). It returns once the listener is
+// bound; the accept loop runs in a background goroutine until Close.
+func Serve(addr string, r *Registry) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go srv.Serve(lis)
+	return &Server{lis: lis, srv: srv}, nil
+}
+
+// Addr returns the bound listen address, e.g. "127.0.0.1:9100".
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestRepoMetricNamesLint sweeps every Go source file in the repository
+// for quoted bqs_* identifiers and runs each through ValidateName. The
+// Registry already panics on a bad name at registration time, but only
+// when that code path runs; this sweep catches a typo'd series in a
+// branch no test exercises — e.g. a miss counter behind a rare error.
+func TestRepoMetricNamesLint(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not found at %s: %v", root, err)
+	}
+	// A quoted metric name: "bqs_..." with at least two more tokens.
+	// Names built from parts (e.g. the sweep skips formatted strings) are
+	// covered by the registration-time panic instead.
+	pat := regexp.MustCompile(`"(bqs_[a-z0-9_]+)"`)
+	checked := map[string]bool{}
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		// Test files are excluded: lint tables (this package's) quote
+		// deliberately invalid names, and every production series is
+		// registered from a non-test file.
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range pat.FindAllStringSubmatch(string(src), -1) {
+			name := m[1]
+			if checked[name] {
+				continue
+			}
+			checked[name] = true
+			if err := ValidateName(name); err != nil {
+				rel, _ := filepath.Rel(root, path)
+				t.Errorf("%s: %v", rel, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sweep must actually be seeing the instrumented layers, or a
+	// future refactor that breaks the walk would pass vacuously.
+	for _, want := range []string{
+		"bqs_server_load",
+		"bqs_quorum_probe_seconds",
+		"bqs_store_fsync_batch_size",
+		"bqs_system_crash_epochs_total",
+		"bqs_wire_frames_total",
+	} {
+		if !checked[want] {
+			t.Errorf("sweep did not find %s — walk broken or series renamed", want)
+		}
+	}
+}

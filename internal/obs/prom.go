@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format (version 0.0.4), sorted by name then label set, with
+// one # TYPE line per metric name. Safe on a nil Registry (writes
+// nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	lastName := ""
+	for _, s := range r.snapshot() {
+		if s.name != lastName {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", s.name, s.kind)
+			lastName = s.name
+		}
+		if s.kind == kindHistogram {
+			writeHistogram(&b, s)
+			continue
+		}
+		b.WriteString(s.name)
+		b.WriteString(s.labels)
+		b.WriteByte(' ')
+		b.WriteString(formatFloat(s.value()))
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram series as cumulative _bucket
+// lines plus _sum and _count, folding the le label into any series
+// labels.
+func writeHistogram(b *strings.Builder, s *series) {
+	bounds, cums := s.hist.buckets()
+	for i, cum := range cums {
+		le := "+Inf"
+		if i < len(bounds) {
+			le = formatFloat(bounds[i])
+		}
+		b.WriteString(s.name)
+		b.WriteString("_bucket")
+		if s.labels == "" {
+			fmt.Fprintf(b, `{le="%s"}`, le)
+		} else {
+			b.WriteString(s.labels[:len(s.labels)-1]) // open the existing block
+			fmt.Fprintf(b, `,le="%s"}`, le)
+		}
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatInt(cum, 10))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", s.name, s.labels, formatFloat(s.hist.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", s.name, s.labels, s.hist.Count())
+}
+
+// WriteJSON renders the registry as a single JSON object — the expvar
+// flavor of the same data. Scalar series map to numbers keyed by
+// name{labels}; histograms map to {count, sum, p50, p95, p99}. Safe on a
+// nil Registry (writes "{}").
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := make(map[string]any)
+	if r != nil {
+		for _, s := range r.snapshot() {
+			key := s.name + s.labels
+			if s.kind == kindHistogram {
+				out[key] = map[string]any{
+					"count": s.hist.Count(),
+					"sum":   s.hist.Sum(),
+					"p50":   s.hist.Quantile(0.50),
+					"p95":   s.hist.Quantile(0.95),
+					"p99":   s.hist.Quantile(0.99),
+				}
+				continue
+			}
+			out[key] = jsonNumber(s.value())
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// jsonNumber keeps NaN/Inf gauges (e.g. strategy load under the uniform
+// strategy) encodable: encoding/json rejects them as numbers.
+func jsonNumber(v float64) any {
+	if v != v || v > 1e308 || v < -1e308 {
+		return formatFloat(v)
+	}
+	return v
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func buildTestRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("bqs_test_frames_total", "dir", "in").Add(3)
+	r.Counter("bqs_test_frames_total", "dir", "out").Add(5)
+	r.Gauge("bqs_test_strategy_load").Set(math.NaN())
+	r.GaugeFunc("bqs_test_live_count", func() float64 { return 2 })
+	h := r.Histogram("bqs_test_batch_ops", []float64{1, 2, 4}, "side", "client")
+	h.Observe(1)
+	h.Observe(3)
+	r.Eventf("something happened")
+	return r
+}
+
+// TestWritePrometheus pins the exposition format the CI smoke greps:
+// TYPE lines, labeled samples, histogram buckets with the le label
+// folded into the existing label block, and _sum/_count companions.
+func TestWritePrometheus(t *testing.T) {
+	var sb strings.Builder
+	if err := buildTestRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE bqs_test_frames_total counter\n",
+		`bqs_test_frames_total{dir="in"} 3` + "\n",
+		`bqs_test_frames_total{dir="out"} 5` + "\n",
+		"# TYPE bqs_test_strategy_load gauge\n",
+		"bqs_test_strategy_load NaN\n",
+		"bqs_test_live_count 2\n",
+		"# TYPE bqs_test_batch_ops histogram\n",
+		`bqs_test_batch_ops_bucket{side="client",le="1"} 1` + "\n",
+		`bqs_test_batch_ops_bucket{side="client",le="4"} 2` + "\n",
+		`bqs_test_batch_ops_bucket{side="client",le="+Inf"} 2` + "\n",
+		`bqs_test_batch_ops_sum{side="client"} 4` + "\n",
+		`bqs_test_batch_ops_count{side="client"} 2` + "\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// One TYPE line per metric name, not per series.
+	if strings.Count(text, "# TYPE bqs_test_frames_total") != 1 {
+		t.Errorf("duplicate TYPE lines:\n%s", text)
+	}
+}
+
+// TestWriteJSON pins the /vars flavor: scalars as numbers, NaN as a
+// string (encoding/json rejects it as a number), histograms as
+// {count, sum, p50, p95, p99}.
+func TestWriteJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := buildTestRegistry().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &out); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v\n%s", err, sb.String())
+	}
+	if v, ok := out[`bqs_test_frames_total{dir="in"}`].(float64); !ok || v != 3 {
+		t.Fatalf("counter in JSON = %v", out[`bqs_test_frames_total{dir="in"}`])
+	}
+	if v, ok := out["bqs_test_strategy_load"].(string); !ok || v != "NaN" {
+		t.Fatalf("NaN gauge in JSON = %v", out["bqs_test_strategy_load"])
+	}
+	hist, ok := out[`bqs_test_batch_ops{side="client"}`].(map[string]any)
+	if !ok {
+		t.Fatalf("histogram missing from JSON: %v", out)
+	}
+	if hist["count"].(float64) != 2 || hist["p99"].(float64) != 4 {
+		t.Fatalf("histogram JSON = %v", hist)
+	}
+}
+
+// TestHandler drives every endpoint through the mux.
+func TestHandler(t *testing.T) {
+	srv := httptest.NewServer(Handler(buildTestRegistry()))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/metrics")
+	if !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	if !strings.Contains(body, "bqs_test_frames_total") {
+		t.Fatalf("/metrics body:\n%s", body)
+	}
+
+	body, _ = get("/vars")
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/vars not JSON: %v", err)
+	}
+
+	body, _ = get("/events")
+	if !strings.Contains(body, "something happened") {
+		t.Fatalf("/events body: %q", body)
+	}
+
+	body, _ = get("/debug/vars")
+	var dv map[string]any
+	if err := json.Unmarshal([]byte(body), &dv); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v\n%s", err, body)
+	}
+	if _, ok := dv["bqs"]; !ok {
+		t.Fatalf("/debug/vars missing bqs key: %v", dv)
+	}
+	if _, ok := dv["memstats"]; !ok {
+		t.Fatalf("/debug/vars missing expvar memstats: %v", dv)
+	}
+
+	body, _ = get("/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index: %q", body)
+	}
+
+	body, _ = get("/")
+	if !strings.Contains(body, "/metrics") {
+		t.Fatalf("index page: %q", body)
+	}
+
+	if resp, err := http.Get(srv.URL + "/nope"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET /nope: %s", resp.Status)
+		}
+	}
+}
+
+// TestServe covers the bind-and-serve wrapper the binaries use under
+// -metrics-addr.
+func TestServe(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", buildTestRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Addr() == "" {
+		t.Fatal("no bound address")
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "bqs_test_frames_total") {
+		t.Fatalf("served /metrics: %q", body)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/metrics"); err == nil {
+		t.Fatal("endpoint still serving after Close")
+	}
+}

@@ -45,24 +45,39 @@ func newClientCore(c *Cluster, id int) clientCore {
 // if no suspect responds the error wraps ErrNoLiveQuorum: the system has
 // crashed (Definition 3.10) as far as this client can see.
 func (cc *clientCore) pickQuorumTTL(ctx context.Context, ttl time.Duration) (bitset.Set, error) {
+	m := &cc.cluster.met
+	var start time.Time
+	if m.on {
+		start = time.Now()
+	}
 	cc.mu.Lock()
-	defer cc.mu.Unlock()
 	cc.suspected.ttl = ttl
-	return cc.cluster.pickQuorum(ctx, cc.rng, cc.suspected, cc.id)
+	q, err := cc.cluster.pickQuorum(ctx, cc.rng, cc.suspected, cc.id)
+	cc.mu.Unlock()
+	if m.on {
+		m.pickSeconds.ObserveDuration(time.Since(start))
+	}
+	return q, err
 }
 
 // noteReplies records unresponsive quorum members in the client's
 // suspicion state and reports whether the whole quorum answered.
 func (cc *clientCore) noteReplies(replies map[int]Response) bool {
 	ok := true
+	var fresh int64
 	cc.mu.Lock()
 	for id, resp := range replies {
 		if !resp.OK {
-			cc.suspected.suspect(id)
+			if cc.suspected.suspect(id) {
+				fresh++
+			}
 			ok = false
 		}
 	}
 	cc.mu.Unlock()
+	if fresh > 0 {
+		cc.cluster.met.suspicions.Add(fresh)
+	}
 	return ok
 }
 

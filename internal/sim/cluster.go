@@ -12,6 +12,7 @@ import (
 	"bqs/internal/bitset"
 	"bqs/internal/core"
 	"bqs/internal/measures"
+	"bqs/internal/obs"
 	"bqs/internal/store"
 )
 
@@ -26,6 +27,7 @@ type config struct {
 	strategy   *core.Strategy
 	optimal    bool
 	stores     func(id int) (store.Store, error)
+	metrics    *obs.Registry
 }
 
 // strategyEnumLimit caps how many quorums WithStrategy/WithOptimalStrategy
@@ -182,6 +184,10 @@ type Cluster struct {
 	// access frequency the paper's load (Definition 3.8) bounds.
 	phases   atomic.Int64
 	accesses []atomic.Int64
+
+	// met holds the pre-resolved telemetry instruments; zero (met.on
+	// false, all instruments nil) without WithMetrics.
+	met clusterMetrics
 }
 
 // NewCluster builds a cluster with one server per universe element. b is
@@ -256,6 +262,9 @@ func NewCluster(system core.System, b int, opts ...Option) (*Cluster, error) {
 			return nil, fmt.Errorf("sim: %w", err)
 		}
 		c.picker, c.strategy, c.stratLoad = p, st, p.InducedLoad()
+	}
+	if cfg.metrics != nil {
+		c.initMetrics(cfg.metrics)
 	}
 	return c, nil
 }
@@ -376,10 +385,16 @@ func (c *Cluster) ResetLoadProfile() {
 }
 
 // invoke routes one probe through the transport, counting it toward the
-// load profile.
+// load profile and, when instrumented, the per-server RTT histogram.
 func (c *Cluster) invoke(ctx context.Context, server int, req Request) (Response, error) {
 	c.accesses[server].Add(1)
-	return c.transport.Invoke(ctx, server, req)
+	if !c.met.on {
+		return c.transport.Invoke(ctx, server, req)
+	}
+	start := time.Now()
+	resp, err := c.transport.Invoke(ctx, server, req)
+	c.met.probeSeconds.ObserveDuration(time.Since(start))
+	return resp, err
 }
 
 // invokeBatch routes a whole frame of probes through the transport,
@@ -392,7 +407,17 @@ func (c *Cluster) invokeBatch(ctx context.Context, items []BatchItem) ([]Respons
 		c.accesses[it.Server].Add(1)
 	}
 	if bt, ok := c.transport.(BatchTransport); ok {
-		return bt.InvokeBatch(ctx, items)
+		if !c.met.on {
+			return bt.InvokeBatch(ctx, items)
+		}
+		// One sample per wire round trip: the frame's RTT is every
+		// item's RTT, so charging it once keeps the histogram a
+		// distribution over network waits, not over items.
+		c.met.batchOps.Observe(float64(len(items)))
+		start := time.Now()
+		out, err := bt.InvokeBatch(ctx, items)
+		c.met.probeSeconds.ObserveDuration(time.Since(start))
+		return out, err
 	}
 	out := make([]Response, len(items))
 	for i, it := range items {
@@ -413,6 +438,17 @@ func (c *Cluster) invokeBatch(ctx context.Context, items []BatchItem) ([]Respons
 // (typically ctx cancellation or expiry); unresponsive servers appear as
 // Response{OK: false}.
 func (c *Cluster) probeQuorum(ctx context.Context, q bitset.Set, req Request, via Transport) (map[int]Response, error) {
+	if !c.met.on {
+		return c.probeQuorumUntimed(ctx, q, req, via)
+	}
+	start := time.Now()
+	out, err := c.probeQuorumUntimed(ctx, q, req, via)
+	c.met.phaseSeconds.ObserveDuration(time.Since(start))
+	return out, err
+}
+
+// probeQuorumUntimed is probeQuorum without the fan-out span.
+func (c *Cluster) probeQuorumUntimed(ctx context.Context, q bitset.Set, req Request, via Transport) (map[int]Response, error) {
 	c.phases.Add(1)
 	invoke := c.invoke
 	if via != nil {
@@ -524,8 +560,20 @@ func (cl *Client) WriteKey(ctx context.Context, key, value string) error {
 }
 
 // writeKey is WriteKey with an explicit probe route (nil = the cluster's
-// counting transport; a Session passes its batcher).
+// counting transport; a Session passes its batcher). It is also the
+// write-op telemetry span: every completion lands in the epoch/crash
+// counters, successful ones in the write-latency histogram.
 func (cl *Client) writeKey(ctx context.Context, key, value string, via Transport) error {
+	if m := &cl.cluster.met; m.on {
+		start := time.Now()
+		err := cl.doWriteKey(ctx, key, value, via)
+		m.opDone(false, time.Since(start), err)
+		return err
+	}
+	return cl.doWriteKey(ctx, key, value, via)
+}
+
+func (cl *Client) doWriteKey(ctx context.Context, key, value string, via Transport) error {
 	// Phase 1: read timestamps from a quorum.
 	maxTS, err := cl.maxTimestamp(ctx, key, via)
 	if err != nil {
@@ -535,6 +583,9 @@ func (cl *Client) writeKey(ctx context.Context, key, value string, via Transport
 	// Phase 2: push to every member of a quorum; on unresponsive members,
 	// suspect them and retry with a fresh quorum.
 	for attempt := 0; attempt < cl.MaxRetries; attempt++ {
+		if attempt > 0 {
+			cl.cluster.met.retries.Inc()
+		}
 		q, err := cl.quorumOrForgive(ctx)
 		if err != nil {
 			return fmt.Errorf("sim: write: %w", err)
@@ -556,6 +607,9 @@ func (cl *Client) writeKey(ctx context.Context, key, value string, via Transport
 // we accept it as the paper's protocol does).
 func (cl *Client) maxTimestamp(ctx context.Context, key string, via Transport) (Timestamp, error) {
 	for attempt := 0; attempt < cl.MaxRetries; attempt++ {
+		if attempt > 0 {
+			cl.cluster.met.retries.Inc()
+		}
 		q, err := cl.quorumOrForgive(ctx)
 		if err != nil {
 			return Timestamp{}, err
@@ -615,9 +669,24 @@ func (cl *Client) ReadKey(ctx context.Context, key string) (TaggedValue, error) 
 }
 
 // readKey is ReadKey with an explicit probe route (nil = the cluster's
-// counting transport; a Session passes its batcher).
+// counting transport; a Session passes its batcher). It is also the
+// read-op telemetry span: every completion lands in the epoch/crash
+// counters, successful ones in the read-latency histogram.
 func (cl *Client) readKey(ctx context.Context, key string, via Transport) (TaggedValue, error) {
+	if m := &cl.cluster.met; m.on {
+		start := time.Now()
+		tv, err := cl.doReadKey(ctx, key, via)
+		m.opDone(true, time.Since(start), err)
+		return tv, err
+	}
+	return cl.doReadKey(ctx, key, via)
+}
+
+func (cl *Client) doReadKey(ctx context.Context, key string, via Transport) (TaggedValue, error) {
 	for attempt := 0; attempt < cl.MaxRetries; attempt++ {
+		if attempt > 0 {
+			cl.cluster.met.retries.Inc()
+		}
 		q, err := cl.quorumOrForgive(ctx)
 		if err != nil {
 			return TaggedValue{}, fmt.Errorf("sim: read: %w", err)

@@ -101,8 +101,19 @@ func (dc *DisseminationClient) WriteKey(ctx context.Context, key, value string) 
 }
 
 // writeKey is WriteKey with an explicit probe route (nil = the cluster's
-// counting transport; a Session passes its batcher).
+// counting transport; a Session passes its batcher). Like Client, it is
+// the write-op telemetry span.
 func (dc *DisseminationClient) writeKey(ctx context.Context, key, value string, via Transport) error {
+	if m := &dc.cluster.met; m.on {
+		start := time.Now()
+		err := dc.doWriteKey(ctx, key, value, via)
+		m.opDone(false, time.Since(start), err)
+		return err
+	}
+	return dc.doWriteKey(ctx, key, value, via)
+}
+
+func (dc *DisseminationClient) doWriteKey(ctx context.Context, key, value string, via Transport) error {
 	maxTS, err := dc.maxVerifiedTimestamp(ctx, key, via)
 	if err != nil {
 		return fmt.Errorf("sim: dissemination write: %w", err)
@@ -110,6 +121,9 @@ func (dc *DisseminationClient) writeKey(ctx context.Context, key, value string, 
 	tv := TaggedValue{Value: value, TS: dc.nextTS(key, maxTS)}
 	dc.auth.Sign(key, tv)
 	for attempt := 0; attempt < dc.MaxRetries; attempt++ {
+		if attempt > 0 {
+			dc.cluster.met.retries.Inc()
+		}
 		q, err := dc.quorumOrForgive(ctx)
 		if err != nil {
 			return fmt.Errorf("sim: dissemination write: %w", err)
@@ -127,6 +141,9 @@ func (dc *DisseminationClient) writeKey(ctx context.Context, key, value string, 
 
 func (dc *DisseminationClient) maxVerifiedTimestamp(ctx context.Context, key string, via Transport) (Timestamp, error) {
 	for attempt := 0; attempt < dc.MaxRetries; attempt++ {
+		if attempt > 0 {
+			dc.cluster.met.retries.Inc()
+		}
 		q, err := dc.quorumOrForgive(ctx)
 		if err != nil {
 			return Timestamp{}, err
@@ -165,9 +182,23 @@ func (dc *DisseminationClient) ReadKey(ctx context.Context, key string) (TaggedV
 }
 
 // readKey is ReadKey with an explicit probe route (nil = the cluster's
-// counting transport; a Session passes its batcher).
+// counting transport; a Session passes its batcher). Like Client, it is
+// the read-op telemetry span.
 func (dc *DisseminationClient) readKey(ctx context.Context, key string, via Transport) (TaggedValue, error) {
+	if m := &dc.cluster.met; m.on {
+		start := time.Now()
+		tv, err := dc.doReadKey(ctx, key, via)
+		m.opDone(true, time.Since(start), err)
+		return tv, err
+	}
+	return dc.doReadKey(ctx, key, via)
+}
+
+func (dc *DisseminationClient) doReadKey(ctx context.Context, key string, via Transport) (TaggedValue, error) {
 	for attempt := 0; attempt < dc.MaxRetries; attempt++ {
+		if attempt > 0 {
+			dc.cluster.met.retries.Inc()
+		}
 		q, err := dc.quorumOrForgive(ctx)
 		if err != nil {
 			return TaggedValue{}, fmt.Errorf("sim: dissemination read: %w", err)

@@ -43,10 +43,14 @@ func newSuspicion(n int) *suspicion {
 	return &suspicion{set: bitset.New(n), at: make([]time.Time, n)}
 }
 
-// suspect marks a server unresponsive as of now.
-func (s *suspicion) suspect(id int) {
+// suspect marks a server unresponsive as of now, reporting whether the
+// suspicion is new (false when it merely refreshes the age of an
+// existing suspect) — the distinction the suspicion counter wants.
+func (s *suspicion) suspect(id int) bool {
+	fresh := !s.set.Contains(id)
 	s.set.Add(id)
 	s.at[id] = time.Now()
+	return fresh
 }
 
 // forgive clears one server's suspicion.
@@ -57,18 +61,22 @@ func (s *suspicion) forgive(id int) {
 // contains reports whether the server is currently suspected.
 func (s *suspicion) contains(id int) bool { return s.set.Contains(id) }
 
-// forgiveAged optimistically forgives every suspect older than ttl; a
-// no-op when aging is disabled (ttl ≤ 0).
-func (s *suspicion) forgiveAged() {
+// forgiveAged optimistically forgives every suspect older than ttl,
+// returning how many it forgave; a no-op when aging is disabled
+// (ttl ≤ 0).
+func (s *suspicion) forgiveAged() int {
 	if s.ttl <= 0 || s.set.Empty() {
-		return
+		return 0
 	}
 	cutoff := time.Now().Add(-s.ttl)
+	forgiven := 0
 	for _, id := range s.set.Elements() {
 		if s.at[id].Before(cutoff) {
 			s.set.Remove(id)
+			forgiven++
 		}
 	}
+	return forgiven
 }
 
 // pickQuorum is the quorum-selection path both client types share: ask
@@ -83,7 +91,9 @@ func (s *suspicion) forgiveAged() {
 // observe, and the error wraps core.ErrNoLiveQuorum so harnesses can
 // count it against F_p(Q).
 func (c *Cluster) pickQuorum(ctx context.Context, rng *rand.Rand, sus *suspicion, readerID int) (bitset.Set, error) {
-	sus.forgiveAged()
+	if aged := sus.forgiveAged(); aged > 0 {
+		c.met.forgivesTTL.Add(int64(aged))
+	}
 	q, err := c.picker.PickQuorum(rng, sus.set)
 	if err == nil {
 		return q, nil
@@ -113,8 +123,11 @@ func (c *Cluster) pickQuorum(ctx context.Context, rng *rand.Rand, sus *suspicion
 		}
 	}
 	if forgiven == 0 {
+		c.met.reg.Eventf("client %d: system crash: all %d suspects unresponsive, no live quorum", readerID, sus.set.Count())
 		return bitset.Set{}, fmt.Errorf("sim: all %d suspects unresponsive: %w", sus.set.Count(), core.ErrNoLiveQuorum)
 	}
+	c.met.forgivesProbe.Add(int64(forgiven))
+	c.met.reg.Eventf("client %d: probe-on-forgive readmitted %d suspects", readerID, forgiven)
 	return c.picker.PickQuorum(rng, sus.set)
 }
 

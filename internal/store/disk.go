@@ -8,6 +8,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"bqs/internal/obs"
 )
 
 // File names inside a Disk store's directory. The snapshot is only ever
@@ -53,6 +55,26 @@ func WithSnapshotThreshold(bytes int64) DiskOption {
 		if bytes > 0 {
 			d.snapThreshold = bytes
 		}
+	}
+}
+
+// WithMetrics wires the engine into an obs.Registry: WAL appends,
+// group-commit flushes and their batch sizes (records per fsync), bytes
+// written, snapshot compactions, and recovery replay time. Instruments
+// are get-or-create by name, so several stores in one process (one per
+// replica) share the same series — the numbers are per process, like a
+// real database's. A nil registry is a no-op.
+func WithMetrics(reg *obs.Registry) DiskOption {
+	return func(d *Disk) {
+		if reg == nil {
+			return
+		}
+		d.mAppends = reg.Counter("bqs_store_wal_appends_total")
+		d.mFsyncs = reg.Counter("bqs_store_fsyncs_total")
+		d.mWALBytes = reg.Counter("bqs_store_wal_bytes_total")
+		d.mBatch = reg.Histogram("bqs_store_fsync_batch_size", obs.SizeBuckets)
+		d.mSnapshots = reg.Counter("bqs_store_snapshots_total")
+		d.mRecovery = reg.Histogram("bqs_store_recovery_seconds", obs.DurationBuckets)
 	}
 }
 
@@ -115,6 +137,14 @@ type Disk struct {
 	recovered RecoveryStats
 	flushes   int64
 	snapshots int64
+
+	// Telemetry instruments from WithMetrics; nil (no-op) by default.
+	mAppends   *obs.Counter
+	mFsyncs    *obs.Counter
+	mWALBytes  *obs.Counter
+	mBatch     *obs.Histogram
+	mSnapshots *obs.Counter
+	mRecovery  *obs.Histogram
 }
 
 // Open opens (or creates) a durable store in dir, running recovery:
@@ -199,6 +229,7 @@ func (d *Disk) recover() error {
 	d.wal = wal
 	d.walSize = good
 	d.recovered = stats
+	d.mRecovery.ObserveDuration(stats.Elapsed)
 	return nil
 }
 
@@ -281,6 +312,7 @@ func (d *Disk) Apply(rec Record) error {
 		return err
 	}
 	d.waiters = append(d.waiters, ch)
+	d.mAppends.Inc()
 	if !d.flushing {
 		d.flushing = true
 		go d.flushLoop()
@@ -330,6 +362,13 @@ func (d *Disk) flushLoop() {
 		}
 		for _, ch := range waiters {
 			ch <- err
+		}
+		if err == nil {
+			if d.fsync {
+				d.mFsyncs.Inc()
+			}
+			d.mBatch.Observe(float64(len(waiters)))
+			d.mWALBytes.Add(int64(len(buf)))
 		}
 		d.mu.Lock()
 		d.flushes++
@@ -386,6 +425,7 @@ func (d *Disk) compactLocked() {
 	if err == nil {
 		d.walSize = 0
 		d.snapshots++
+		d.mSnapshots.Inc()
 	}
 }
 

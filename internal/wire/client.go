@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bqs/internal/obs"
 	"bqs/internal/sim"
 )
 
@@ -20,6 +21,7 @@ type dialConfig struct {
 	dialTimeout   time.Duration
 	redialBackoff time.Duration
 	version       int
+	met           *wireMetrics
 }
 
 // WithPoolSize sets how many TCP connections the client keeps per address
@@ -51,6 +53,18 @@ func WithRedialBackoff(d time.Duration) DialOption {
 	return func(c *dialConfig) {
 		if d > 0 {
 			c.redialBackoff = d
+		}
+	}
+}
+
+// WithMetrics wires the client into an obs.Registry: frames and bytes in
+// each direction, batch-frame op counts, dial outcomes (the redial
+// stream of a flapping shard), and the per-connection negotiated version
+// mix. A nil registry is a no-op.
+func WithMetrics(reg *obs.Registry) DialOption {
+	return func(c *dialConfig) {
+		if reg != nil {
+			c.met = newWireMetrics(reg, "client")
 		}
 	}
 }
@@ -120,6 +134,9 @@ func Dial(routes map[int]string, opts ...DialOption) (*Client, error) {
 	}
 	for _, opt := range opts {
 		opt(&cfg)
+	}
+	if cfg.met == nil {
+		cfg.met = &wireMetrics{}
 	}
 	groups := make(map[string]int)
 	for _, addr := range m {
@@ -505,6 +522,7 @@ func (cn *conn) roundTripBatch(ctx context.Context, items []sim.BatchItem) ([]si
 		return out, nil
 	}
 	pc := &pendingCall{batch: make(chan []sim.Response, 1), n: len(sendable)}
+	cn.cfg.met.batchOps.Observe(float64(len(sendable)))
 	id, err := cn.send(ctx, func(id uint64) ([]byte, error) {
 		return AppendBatchRequest(nil, id, sendable)
 	}, pc)
@@ -605,6 +623,10 @@ func (cn *conn) send(ctx context.Context, encode func(id uint64) ([]byte, error)
 		werr = bw.Flush()
 	}
 	cn.wmu.Unlock()
+	if werr == nil {
+		cn.cfg.met.framesOut.Inc()
+		cn.cfg.met.bytesOut.Add(int64(len(frame)))
+	}
 	if werr != nil {
 		cn.mu.Lock()
 		cn.teardownLocked(nc)
@@ -665,6 +687,8 @@ func (cn *conn) ensureConn(ctx context.Context) error {
 			ctxErr := ctx.Err()
 			if ctxErr == nil {
 				cn.nextDialAt = time.Now().Add(cn.cfg.redialBackoff)
+				cn.cfg.met.dialsErr.Inc()
+				cn.cfg.met.reg.Eventf("wire: dial %s failed: %v", cn.addr, err)
 			}
 			cn.mu.Unlock()
 			if ctxErr != nil {
@@ -677,6 +701,7 @@ func (cn *conn) ensureConn(ctx context.Context) error {
 			nc.Close()
 			return fmt.Errorf("wire: client closed")
 		}
+		cn.cfg.met.dialsOK.Inc()
 		cn.nc = nc
 		cn.bw = bufio.NewWriter(nc)
 		cn.pending = make(map[uint64]*pendingCall)
@@ -687,15 +712,22 @@ func (cn *conn) ensureConn(ctx context.Context) error {
 			// cannot interleave with a request frame.
 			cn.ver = 0
 			cn.helloWait = make(chan struct{})
-			cn.bw.Write(AppendHello(nil, byte(cn.cfg.version)))
+			hello := AppendHello(nil, byte(cn.cfg.version))
+			cn.bw.Write(hello)
 			if err := cn.bw.Flush(); err != nil {
 				cn.teardownLocked(nc)
 				cn.mu.Unlock()
 				return errDown
 			}
+			// The hello travels outside sendFrame, so it is counted here —
+			// keeping the client's out-frame count the mirror image of the
+			// server's in-frame count.
+			cn.cfg.met.framesOut.Inc()
+			cn.cfg.met.bytesOut.Add(int64(len(hello)))
 		} else {
 			cn.ver = 1
 			cn.helloWait = nil
+			cn.cfg.met.connNegotiated(1)
 		}
 		go cn.readLoop(nc)
 		cn.mu.Unlock()
@@ -717,6 +749,8 @@ func (cn *conn) readLoop(nc net.Conn) {
 		if len(frame) == 0 {
 			break
 		}
+		cn.cfg.met.framesIn.Inc()
+		cn.cfg.met.bytesIn.Add(int64(len(frame)) + 4) // +4: the length prefix is wire bytes too
 		switch frame[0] {
 		case tagHello:
 			sv, err := DecodeHello(frame)
@@ -726,6 +760,7 @@ func (cn *conn) readLoop(nc net.Conn) {
 			cn.mu.Lock()
 			if cn.nc == nc && cn.helloWait != nil {
 				cn.ver = min(cn.cfg.version, int(sv))
+				cn.cfg.met.connNegotiated(cn.ver)
 				close(cn.helloWait)
 				cn.helloWait = nil
 			}

@@ -1,0 +1,55 @@
+package wire
+
+import (
+	"strconv"
+
+	"bqs/internal/obs"
+)
+
+// wireMetrics is the pre-resolved instrument set for one side of the
+// protocol. Client and server register the same series distinguished by
+// the side label, so a test process hosting both keeps the directions
+// separate. All fields are nil without a registry; obs instruments are
+// nil-safe, so call sites need no guards.
+type wireMetrics struct {
+	on   bool
+	reg  *obs.Registry
+	side string
+
+	framesIn  *obs.Counter   // bqs_wire_frames_total{side,dir="in"}
+	framesOut *obs.Counter   // bqs_wire_frames_total{side,dir="out"}
+	bytesIn   *obs.Counter   // bqs_wire_bytes_total{side,dir="in"}
+	bytesOut  *obs.Counter   // bqs_wire_bytes_total{side,dir="out"}
+	batchOps  *obs.Histogram // bqs_wire_batch_ops{side}: items per batch frame
+	dialsOK   *obs.Counter   // bqs_wire_dials_total{result="ok"} (client side)
+	dialsErr  *obs.Counter   // bqs_wire_dials_total{result="err"} (client side)
+}
+
+func newWireMetrics(reg *obs.Registry, side string) *wireMetrics {
+	if reg == nil {
+		return &wireMetrics{}
+	}
+	return &wireMetrics{
+		on:        true,
+		reg:       reg,
+		side:      side,
+		framesIn:  reg.Counter("bqs_wire_frames_total", "side", side, "dir", "in"),
+		framesOut: reg.Counter("bqs_wire_frames_total", "side", side, "dir", "out"),
+		bytesIn:   reg.Counter("bqs_wire_bytes_total", "side", side, "dir", "in"),
+		bytesOut:  reg.Counter("bqs_wire_bytes_total", "side", side, "dir", "out"),
+		batchOps:  reg.Histogram("bqs_wire_batch_ops", obs.SizeBuckets, "side", side),
+		dialsOK:   reg.Counter("bqs_wire_dials_total", "result", "ok"),
+		dialsErr:  reg.Counter("bqs_wire_dials_total", "result", "err"),
+	}
+}
+
+// connNegotiated counts one connection at its negotiated protocol
+// version — the live version-mix series for a fleet mid-upgrade.
+// Registration is get-or-create, so the registry lookup per connection
+// is a cold-path map hit, not a new series each time.
+func (m *wireMetrics) connNegotiated(ver int) {
+	if m == nil || !m.on {
+		return
+	}
+	m.reg.Counter("bqs_wire_conns_total", "side", m.side, "version", strconv.Itoa(ver)).Inc()
+}

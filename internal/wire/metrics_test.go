@@ -1,0 +1,174 @@
+package wire
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"bqs/internal/obs"
+	"bqs/internal/sim"
+)
+
+// TestWireMetricsEndToEnd drives real frames over loopback with both
+// sides instrumented into separate registries and pins the series: frame
+// and byte counters by direction, the negotiated-version mix, batch-op
+// distributions, dial outcomes, and the server's open-connection gauge.
+// The client and server views must be mirror images — every frame the
+// client sends is a frame the server receives.
+func TestWireMetricsEndToEnd(t *testing.T) {
+	regS := obs.NewRegistry()
+	regC := obs.NewRegistry()
+
+	reps := newReplicas([]int{0, 1, 2})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(reps, WithServerMetrics(regS))
+	go srv.Serve(lis)
+	defer srv.Close()
+
+	routes := map[int]string{0: lis.Addr().String(), 1: lis.Addr().String(), 2: lis.Addr().String()}
+	cl, err := Dial(routes, WithMetrics(regC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ctx := context.Background()
+	const ops = 20
+	for i := 0; i < ops; i++ {
+		resp, err := cl.Invoke(ctx, i%3, sim.Request{Op: sim.OpWrite, Value: sim.TaggedValue{
+			Value: "v", TS: sim.Timestamp{Seq: int64(i)},
+		}})
+		if err != nil || !resp.OK {
+			t.Fatalf("op %d: resp %+v err %v", i, resp, err)
+		}
+	}
+
+	if v, _ := regC.Value("bqs_wire_dials_total", "result", "ok"); v < 1 {
+		t.Fatalf("client dials ok = %v, want >= 1", v)
+	}
+	if v, _ := regC.Value("bqs_wire_dials_total", "result", "err"); v != 0 {
+		t.Fatalf("client dial errors = %v, want 0", v)
+	}
+	// Hello + 20 requests out; hello-ack + 20 responses in.
+	cOut, _ := regC.Value("bqs_wire_frames_total", "side", "client", "dir", "out")
+	cIn, _ := regC.Value("bqs_wire_frames_total", "side", "client", "dir", "in")
+	sIn, _ := regS.Value("bqs_wire_frames_total", "side", "server", "dir", "in")
+	sOut, _ := regS.Value("bqs_wire_frames_total", "side", "server", "dir", "out")
+	if cOut < ops+1 || cIn < ops+1 {
+		t.Fatalf("client frames out=%v in=%v, want >= %d each", cOut, cIn, ops+1)
+	}
+	if cOut != sIn || cIn != sOut {
+		t.Fatalf("mirror broken: client out=%v server in=%v, client in=%v server out=%v",
+			cOut, sIn, cIn, sOut)
+	}
+	cBytesOut, _ := regC.Value("bqs_wire_bytes_total", "side", "client", "dir", "out")
+	sBytesIn, _ := regS.Value("bqs_wire_bytes_total", "side", "server", "dir", "in")
+	if cBytesOut <= 0 || cBytesOut != sBytesIn {
+		t.Fatalf("bytes mirror broken: client out=%v server in=%v", cBytesOut, sBytesIn)
+	}
+
+	// Both sides saw one connection negotiate the current version.
+	ver := "2"
+	if v, _ := regC.Value("bqs_wire_conns_total", "side", "client", "version", ver); v != 1 {
+		t.Fatalf("client conns at v%s = %v, want 1", ver, v)
+	}
+	if v, _ := regS.Value("bqs_wire_conns_total", "side", "server", "version", ver); v != 1 {
+		t.Fatalf("server conns at v%s = %v, want 1", ver, v)
+	}
+	if v, _ := regS.Value("bqs_wire_open_conns_count"); v != 1 {
+		t.Fatalf("open conns gauge = %v, want 1", v)
+	}
+
+	// Batch frames feed the per-frame op-count distributions on both
+	// sides.
+	items := []sim.BatchItem{
+		{Server: 0, Req: sim.Request{Op: sim.OpRead}},
+		{Server: 1, Req: sim.Request{Op: sim.OpRead}},
+		{Server: 2, Req: sim.Request{Op: sim.OpRead}},
+	}
+	if _, err := cl.InvokeBatch(ctx, items); err != nil {
+		t.Fatal(err)
+	}
+	ch := regC.Histogram("bqs_wire_batch_ops", obs.SizeBuckets, "side", "client")
+	sh := regS.Histogram("bqs_wire_batch_ops", obs.SizeBuckets, "side", "server")
+	if ch.Count() != 1 || int(ch.Sum()) != len(items) {
+		t.Fatalf("client batch hist count=%d sum=%v, want 1 frame of %d ops", ch.Count(), ch.Sum(), len(items))
+	}
+	if sh.Count() != 1 || int(sh.Sum()) != len(items) {
+		t.Fatalf("server batch hist count=%d sum=%v, want 1 frame of %d ops", sh.Count(), sh.Sum(), len(items))
+	}
+
+	// Closing the client drains the server's open-connection gauge.
+	cl.Close()
+	deadline := 200
+	for ; deadline > 0; deadline-- {
+		if v, _ := regS.Value("bqs_wire_open_conns_count"); v == 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if deadline == 0 {
+		t.Fatal("open-conns gauge never drained after client close")
+	}
+}
+
+// TestWireMetricsDialError pins the failure counter and its event-log
+// companion: a dial to a dead address counts result="err" and leaves a
+// scrapeable trace in /events.
+func TestWireMetricsDialError(t *testing.T) {
+	// Reserve an address, then close it so the dial fails fast.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close()
+
+	reg := obs.NewRegistry()
+	cl, err := Dial(map[int]string{0: addr}, WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	resp, err := cl.Invoke(context.Background(), 0, sim.Request{Op: sim.OpRead})
+	if err != nil || resp.OK {
+		t.Fatalf("dead address: resp %+v err %v, want OK=false", resp, err)
+	}
+	if v, _ := reg.Value("bqs_wire_dials_total", "result", "err"); v < 1 {
+		t.Fatalf("dial errors = %v, want >= 1", v)
+	}
+	evs := reg.Events()
+	if len(evs) == 0 {
+		t.Fatal("dial failure left no event")
+	}
+}
+
+// TestWireMetricsV1 pins the version-mix label under a capped client: a
+// v1 connection shows up as version="1" on the client side.
+func TestWireMetricsV1(t *testing.T) {
+	reps := newReplicas([]int{0})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(reps)
+	go srv.Serve(lis)
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	cl, err := Dial(map[int]string{0: lis.Addr().String()}, WithMetrics(reg), WithVersion(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if resp, err := cl.Invoke(context.Background(), 0, sim.Request{Op: sim.OpRead}); err != nil || !resp.OK {
+		t.Fatalf("v1 read: resp %+v err %v", resp, err)
+	}
+	if v, _ := reg.Value("bqs_wire_conns_total", "side", "client", "version", "1"); v != 1 {
+		t.Fatalf(`conns{version="1"} = %v, want 1`, v)
+	}
+}

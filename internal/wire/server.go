@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 
+	"bqs/internal/obs"
 	"bqs/internal/sim"
 )
 
@@ -22,6 +23,7 @@ var ErrServerClosed = errors.New("wire: server closed")
 // stays the business of the underlying sim.Server objects.
 type Server struct {
 	replicas map[int]*sim.Server
+	met      *wireMetrics
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -31,18 +33,43 @@ type Server struct {
 	inflight sync.WaitGroup // outstanding request handlers, for Shutdown
 }
 
+// ServerOption configures NewServer.
+type ServerOption func(*Server)
+
+// WithServerMetrics wires the daemon into an obs.Registry: frames and
+// bytes in each direction, batch-frame op counts, negotiated-version
+// counts, and a live open-connection gauge. A nil registry is a no-op.
+func WithServerMetrics(reg *obs.Registry) ServerOption {
+	return func(s *Server) {
+		if reg == nil {
+			return
+		}
+		s.met = newWireMetrics(reg, "server")
+		reg.GaugeFunc("bqs_wire_open_conns_count", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.conns))
+		})
+	}
+}
+
 // NewServer returns a Server hosting the given replicas. The map is
 // copied; mutate replica behavior through the *sim.Server values.
-func NewServer(replicas map[int]*sim.Server) *Server {
+func NewServer(replicas map[int]*sim.Server, opts ...ServerOption) *Server {
 	m := make(map[int]*sim.Server, len(replicas))
 	for id, s := range replicas {
 		m[id] = s
 	}
-	return &Server{
+	srv := &Server{
 		replicas:  m,
+		met:       &wireMetrics{},
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
 	}
+	for _, opt := range opts {
+		opt(srv)
+	}
+	return srv
 }
 
 // Replica returns the hosted replica with the given global index, or nil.
@@ -134,7 +161,10 @@ func (s *Server) serveConn(nc net.Conn) {
 		wmu.Unlock()
 		if werr != nil {
 			nc.Close() // unblocks the read loop
+			return
 		}
+		s.met.framesOut.Inc()
+		s.met.bytesOut.Add(int64(len(out)))
 	}
 	var buf []byte
 	for {
@@ -143,13 +173,16 @@ func (s *Server) serveConn(nc net.Conn) {
 			return
 		}
 		buf = frame
-		var encode func() []byte // deferred so it runs on the handler goroutine
+		s.met.framesIn.Inc()
+		s.met.bytesIn.Add(int64(len(frame)) + 4) // +4: the length prefix is wire bytes too
+		var encode func() []byte                 // deferred so it runs on the handler goroutine
 		switch frame[0] {
 		case tagHello:
 			cv, err := DecodeHello(frame)
 			if err != nil {
 				return
 			}
+			s.met.connNegotiated(min(ProtoVersion, int(cv)))
 			send(AppendHello(nil, byte(min(ProtoVersion, int(cv)))))
 			continue
 		case tagRequest:
@@ -213,6 +246,7 @@ func (s *Server) serveConn(nc net.Conn) {
 // exceed MaxFrame (the flags+header floor of every item fits MaxBatchOps
 // many times over).
 func (s *Server) handleBatch(items []sim.BatchItem) []sim.Response {
+	s.met.batchOps.Observe(float64(len(items)))
 	out := make([]sim.Response, len(items))
 	var wg sync.WaitGroup
 	for i, it := range items {
