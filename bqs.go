@@ -47,6 +47,12 @@ type (
 	Composite = compose.Composite
 	// MCResult is a Monte Carlo crash-probability estimate.
 	MCResult = measures.MCResult
+	// FailureModel is the heterogeneous, correlated crash model: a
+	// per-server probability vector plus correlated failure domains.
+	FailureModel = measures.FailureModel
+	// Domain is one correlated failure domain of a FailureModel (rack,
+	// power feed, availability zone): all members crash together.
+	Domain = measures.Domain
 
 	// Threshold is the ℓ-of-n system (Table 2 baseline / RT block).
 	Threshold = systems.Threshold
@@ -133,6 +139,22 @@ type (
 	// Flipper applies behavior flips to servers: Cluster implements it
 	// in-memory, WireClient over TCP (control frames).
 	Flipper = sim.Flipper
+	// ChurnGroup is one heterogeneous slice of the churn model: rate
+	// overrides for its servers, or — when Correlated — a failure domain
+	// that flips all its members together.
+	ChurnGroup = sim.ChurnGroup
+	// Adversary corrupts up to B servers through a Flipper, re-choosing
+	// victims live per its scheduling strategy.
+	Adversary = sim.Adversary
+	// AdversaryConfig shapes an Adversary (kind, budget, behavior,
+	// re-targeting interval).
+	AdversaryConfig = sim.AdversaryConfig
+	// AdversaryKind names a victim-selection strategy: random, targeted
+	// (heaviest-loaded servers), or timing (phase-keyed behavior flips).
+	AdversaryKind = sim.AdversaryKind
+	// LoadSource exposes live per-server access frequencies; Cluster
+	// satisfies it, and the targeted adversary re-aims off it.
+	LoadSource = sim.LoadSource
 
 	// Store is the pluggable storage engine behind a Server: a keyed map
 	// of timestamped records with last-writer-wins merge. NewMemStore
@@ -198,6 +220,20 @@ const (
 	// Correct — or leave it Crashed if recovery fails. A server without a
 	// durable store restarts with amnesia.
 	Restart = sim.Restart
+)
+
+// Adversary scheduling strategies for NewAdversary.
+const (
+	// AdversaryRandom corrupts a fresh uniform b-subset each tick — the
+	// oblivious baseline.
+	AdversaryRandom = sim.AdversaryRandom
+	// AdversaryTargeted corrupts the servers carrying the most live
+	// access weight (Cluster.LoadProfile) — the worst-case adversary the
+	// availability analysis must survive.
+	AdversaryTargeted = sim.AdversaryTargeted
+	// AdversaryTiming holds its victims but flips their behavior between
+	// ByzantineStale and ByzantineEquivocate keyed to the protocol phase.
+	AdversaryTiming = sim.AdversaryTiming
 )
 
 // Protocol message types, for custom Transport implementations.
@@ -389,6 +425,45 @@ func CrashProbabilityMC(sys System, p float64, trials int, rng *rand.Rand) (MCRe
 	return measures.CrashProbabilityMC(sys, p, trials, rng)
 }
 
+// CrashProbabilityExactVec computes the heterogeneous F_p exactly for a
+// per-server crash probability vector (universe ≤ 24).
+func CrashProbabilityExactVec(sys Enumerable, p []float64) (float64, error) {
+	return measures.CrashProbabilityExactVec(sys, p)
+}
+
+// CrashProbabilityExactModel computes F exactly under a full
+// FailureModel (per-server vector plus correlated domains); the model's
+// independent failure sources are capped at 24.
+func CrashProbabilityExactModel(sys Enumerable, m FailureModel) (float64, error) {
+	return measures.CrashProbabilityExactModel(sys, m)
+}
+
+// CrashProbabilityMCVec estimates the heterogeneous F_p by Monte Carlo
+// for a per-server probability vector.
+func CrashProbabilityMCVec(sys System, p []float64, trials int, rng *rand.Rand) (MCResult, error) {
+	return measures.CrashProbabilityMCVec(sys, p, trials, rng)
+}
+
+// CrashProbabilityMCModel estimates F under a full FailureModel by Monte
+// Carlo — the estimator for models with too many sources to enumerate.
+func CrashProbabilityMCModel(sys System, m FailureModel, trials int, rng *rand.Rand) (MCResult, error) {
+	return measures.CrashProbabilityMCModel(sys, m, trials, rng)
+}
+
+// UniformFailureModel returns the paper's i.i.d. model: every one of n
+// servers crashes independently with probability p.
+func UniformFailureModel(n int, p float64) FailureModel { return measures.UniformModel(n, p) }
+
+// ParsePVector parses the CLI form of a per-server crash probability
+// vector: a bare float (uniform), n comma-separated floats (positional),
+// or ranged "lo-hi:p"/"i:p" entries over a "*:p" default.
+func ParsePVector(spec string, n int) ([]float64, error) { return measures.ParsePVector(spec, n) }
+
+// ParseDomains parses the CLI form of correlated failure domains:
+// comma-separated members:probability entries with '+'-joined ranges,
+// e.g. "0-3:0.05,4-7:0.05,8+12:0.2".
+func ParseDomains(spec string, n int) ([]Domain, error) { return measures.ParseDomains(spec, n) }
+
 // CrashLowerBoundMT is Proposition 4.3: F_p ≥ p^MT.
 func CrashLowerBoundMT(mt int, p float64) float64 { return measures.CrashLowerBoundMT(mt, p) }
 
@@ -465,10 +540,26 @@ func NewFaultSchedule(events []FaultEvent) (*FaultSchedule, error) {
 // ranges.
 func ParseFaultSchedule(spec string) (*FaultSchedule, error) { return sim.ParseFaultSchedule(spec) }
 
-// ParseChurn parses the stochastic churn spec
-// "mtbf=300ms,mttr=100ms[,down=<behavior>][,servers=lo-hi]" into a
-// ChurnConfig.
+// ParseChurn parses the stochastic churn spec — one or more
+// ';'-separated clauses: a base "mtbf=300ms,mttr=100ms[,down=<behavior>]
+// [,servers=lo-hi]" followed by optional heterogeneous groups
+// ("servers=4-7,mtbf=1s" rate overrides, "domain=0-3" correlated failure
+// domains) — into a ChurnConfig.
 func ParseChurn(spec string) (ChurnConfig, error) { return sim.ParseChurn(spec) }
+
+// ParseAdversary parses the adversary spec: a strategy name (random,
+// targeted, timing) optionally followed by b=<budget>,
+// behavior=<ParseBehavior name>, interval=<duration>, seed=<int>.
+func ParseAdversary(spec string) (AdversaryConfig, error) { return sim.ParseAdversary(spec) }
+
+// NewAdversary builds an adversarial Byzantine scheduler over an
+// n-server fleet: it corrupts up to cfg.B servers through f, re-choosing
+// victims live per cfg.Kind. loads may be nil except for the targeted
+// kind (pass the Cluster, which is its own LoadSource); run it with
+// Adversary.Run alongside the workload.
+func NewAdversary(cfg AdversaryConfig, f Flipper, loads LoadSource, n int) (*Adversary, error) {
+	return sim.NewAdversary(cfg, f, loads, n)
+}
 
 // ParseBehavior maps a behavior name ("correct", "crashed",
 // "byz-fabricate", "byz-stale", "byz-equivocate" and common aliases) to

@@ -13,7 +13,8 @@
 //	        [-jitter 0] [-timeout 0] [-deterministic] [-seed 1]
 //	        [-keys 0] [-key-dist uniform|zipf:S] [-batch 1]
 //	        [-fault-schedule SPEC] [-churn SPEC] [-suspicion-ttl 0]
-//	        [-availability SPEC] [-data-dir DIR] [-fsync=true]
+//	        [-availability SPEC] [-p-vector SPEC] [-domains SPEC]
+//	        [-adversary SPEC] [-data-dir DIR] [-fsync=true]
 //	        [-bench-json out.json]
 //
 // With -duration the run is time-bounded instead of op-bounded. With
@@ -56,6 +57,20 @@
 // Carlo estimate and the Propositions 4.3–4.5 lower bounds, and the run
 // exits non-zero when the measurement lands more than 3 binomial standard
 // deviations from the exact value.
+//
+// Heterogeneous and adversarial failure regimes: -p-vector replaces the
+// scalar p with per-server crash probabilities ("0.01" uniform,
+// "0.1,0.2,..." positional, "*:0.01,0-3:0.2" ranged) and -domains adds
+// correlated failure domains ("0-3:0.05,8+12:0.2" — each fires as one
+// Bernoulli taking all members down together); the empirical rate is then
+// held against the generalized exact/Monte-Carlo F under that model.
+// -adversary replaces stochastic draws with adversarial placement:
+// "random,b=N" crashes a uniform N-subset (still enumerable, so the 3σ
+// assertion stays armed), "targeted,b=N" concentrates the budget on the
+// most-loaded servers of the live access strategy, and "timing" keys
+// Byzantine modes to the protocol phase. Without -availability, -adversary
+// runs the same scheduler live beside the workload (mobile corruption
+// within its budget), composing with -churn.
 package main
 
 import (
@@ -100,6 +115,9 @@ func run() error {
 	churn := flag.String("churn", "", "stochastic churn \"mtbf=300ms,mttr=100ms[,down=behavior][,servers=lo-hi]\" over the -duration horizon")
 	suspicionTTL := flag.Duration("suspicion-ttl", 0, "client suspicion TTL so recovered servers regain traffic (0 = auto: 50ms when churn is active)")
 	availability := flag.String("availability", "", "availability experiment \"p=0.1,epochs=2000[,seed=N][,mctrials=N]\": empirical crash rate vs F_p(Q); replaces the workload")
+	pVector := flag.String("p-vector", "", "heterogeneous per-server crash probabilities for -availability: \"0.1\" uniform, \"0.1,0.2,...\" positional, or \"*:0.05,0-3:0.2\" ranged")
+	domains := flag.String("domains", "", "correlated failure domains for -availability: \"members:prob\" entries, e.g. \"0-3:0.05,8+12:0.2\"")
+	adversary := flag.String("adversary", "", "adversarial fault placement \"random|targeted|timing[,b=N][,behavior=MODE][,interval=D][,seed=N]\": live against the workload, or per-epoch with -availability")
 	dataDir := flag.String("data-dir", "", "back every server with a durable WAL+snapshot store under DIR/server-NNNN (empty = in-memory registers)")
 	fsync := flag.Bool("fsync", true, "fsync each durable group commit (only with -data-dir)")
 	benchJSON := flag.String("bench-json", "", "write the run's benchmark snapshot (ops/s, p50/p99, measured load) as JSON to this path")
@@ -131,9 +149,20 @@ func run() error {
 		// model; silently dropping other explicitly-set flags would hand
 		// the user a valid-looking F_p that answers a different question.
 		if conflicts := availabilityFlagConflicts(); len(conflicts) > 0 {
-			return fmt.Errorf("-availability is a standalone experiment (only -system, -b and -seed compose with it); drop -%s", strings.Join(conflicts, ", -"))
+			return fmt.Errorf("-availability is a standalone experiment (only -system, -b, -seed, -p-vector, -domains and -adversary compose with it); drop -%s", strings.Join(conflicts, ", -"))
 		}
-		return runAvailability(sys, *b, *availability, *seed, reg)
+		return runAvailability(sys, *b, *availability, *pVector, *domains, *adversary, *seed, reg)
+	}
+	if *pVector != "" || *domains != "" {
+		return fmt.Errorf("-p-vector and -domains shape the -availability crash model; for live-workload faults use -churn (per-group mtbf/mttr and correlated domains)")
+	}
+	var advCfg *bqs.AdversaryConfig
+	if *adversary != "" {
+		parsed, err := bqs.ParseAdversary(*adversary)
+		if err != nil {
+			return err
+		}
+		advCfg = &parsed
 	}
 
 	schedule, err := harness.BuildSchedule(*faultSchedule, *churn, sys.UniverseSize(), *duration, *seed)
@@ -141,6 +170,11 @@ func run() error {
 		return err
 	}
 	ttl := harness.ChurnTTL(schedule, *suspicionTTL)
+	if advCfg != nil && ttl == 0 {
+		// A live adversary flips behaviors just like churn does; clients
+		// need suspicion aging to re-admit restored victims.
+		ttl = harness.DefaultChurnSuspicionTTL
+	}
 
 	opts := []bqs.ClusterOption{bqs.WithSeed(*seed), bqs.WithDropRate(*drop),
 		bqs.WithLatency(*latency, *jitter), bqs.WithMetrics(reg)}
@@ -205,10 +239,20 @@ func run() error {
 	fmt.Printf("workload: %s (strategy=%s, drop=%.3f, latency=%v±%v)\n",
 		w.Describe(), *strategy, *drop, *latency, *jitter)
 
-	// The churn engine runs beside the workload, cancelled at the run
-	// boundary if events remain.
+	// The churn engine and the adversary run beside the workload,
+	// cancelled at the run boundary.
 	driver := harness.StartChurn(cluster, schedule, ttl, reg)
+	var advDriver *harness.AdversaryDriver
+	if advCfg != nil {
+		advDriver, err = harness.StartAdversary(*advCfg, cluster, cluster, sys.UniverseSize(), reg)
+		if err != nil {
+			return err
+		}
+	}
 	counters := harness.Run(cluster, w)
+	if err := advDriver.Stop(); err != nil {
+		return err
+	}
 	if err := driver.Stop(); err != nil {
 		return err
 	}
@@ -226,7 +270,7 @@ func run() error {
 	if *duration > 0 {
 		knob = "-duration"
 	}
-	faultFree := *crashed == 0 && *drop == 0 && schedule.FaultFree()
+	faultFree := *crashed == 0 && *drop == 0 && schedule.FaultFree() && advCfg == nil
 	switch {
 	case !math.IsNaN(sum.StrategyLoad) && faultFree:
 		// With the LP strategy installed and no fault-driven re-selection,
@@ -242,7 +286,8 @@ func run() error {
 		fmt.Printf("  note: measurement below the lower bound — increase %s for convergence\n", knob)
 	}
 
-	if counters.Violations > 0 && *byzantine <= *b {
+	withinBudget := *byzantine <= *b && (advCfg == nil || advCfg.B <= *b)
+	if counters.Violations > 0 && withinBudget {
 		return fmt.Errorf("safety violated within the masking bound — this is a bug")
 	}
 	if counters.Violations > 0 {
@@ -254,7 +299,8 @@ func run() error {
 // availabilityFlagConflicts returns the explicitly-set flags that
 // -availability mode would otherwise silently ignore.
 func availabilityFlagConflicts() []string {
-	allowed := map[string]bool{"system": true, "b": true, "seed": true, "availability": true, "metrics-addr": true}
+	allowed := map[string]bool{"system": true, "b": true, "seed": true, "availability": true,
+		"metrics-addr": true, "p-vector": true, "domains": true, "adversary": true}
 	var out []string
 	flag.Visit(func(f *flag.Flag) {
 		if !allowed[f.Name] {
@@ -268,13 +314,43 @@ func availabilityFlagConflicts() []string {
 // system-crash rate through the live engine and hold it against the
 // analytic F_p(Q) ladder, failing beyond 3σ of the exact value. The
 // global -seed seeds the experiment unless the spec's seed= overrides it.
-func runAvailability(sys harness.System, b int, spec string, seed int64, reg *bqs.MetricsRegistry) error {
+// -p-vector/-domains swap the i.i.d. draws for the heterogeneous model
+// (exact companion: the generalized F); -adversary swaps them for
+// adversarial placement (exact companion only for random placement).
+func runAvailability(sys harness.System, b int, spec, pVector, domains, adversary string, seed int64, reg *bqs.MetricsRegistry) error {
 	cfg, err := harness.ParseAvailabilitySpec(spec, seed)
 	if err != nil {
 		return err
 	}
+	n := sys.UniverseSize()
+	if pVector != "" {
+		if cfg.PVec, err = bqs.ParsePVector(pVector, n); err != nil {
+			return err
+		}
+	}
+	if domains != "" {
+		if cfg.Domains, err = bqs.ParseDomains(domains, n); err != nil {
+			return err
+		}
+	}
+	if adversary != "" {
+		parsed, err := bqs.ParseAdversary(adversary)
+		if err != nil {
+			return err
+		}
+		cfg.Adversary = &parsed
+	}
 	cfg.Registry = reg
-	fmt.Printf("availability: p=%g over %d epochs (seed %d)\n", cfg.P, cfg.Epochs, cfg.Seed)
+	switch {
+	case cfg.Adversary != nil:
+		fmt.Printf("availability: %s adversary (budget %d) over %d epochs (seed %d)\n",
+			cfg.Adversary.Kind, cfg.Adversary.B, cfg.Epochs, cfg.Seed)
+	case len(cfg.PVec) > 0 || len(cfg.Domains) > 0:
+		fmt.Printf("availability: heterogeneous model (%d-entry p vector, %d domains) over %d epochs (seed %d)\n",
+			len(cfg.PVec), len(cfg.Domains), cfg.Epochs, cfg.Seed)
+	default:
+		fmt.Printf("availability: p=%g over %d epochs (seed %d)\n", cfg.P, cfg.Epochs, cfg.Seed)
+	}
 	res, err := harness.RunAvailability(sys, b, cfg)
 	if err != nil {
 		return err
@@ -285,7 +361,11 @@ func runAvailability(sys harness.System, b int, spec string, seed int64, reg *bq
 			res.Rate, res.Exact, res.Epochs)
 	}
 	if !res.ExactOK {
-		fmt.Println("  note: universe too large for exact F_p — no 3σ assertion (Monte Carlo shown above)")
+		if res.Adversary != "" {
+			fmt.Println("  note: no analytic crash rate for this placement strategy — measured rate only")
+		} else {
+			fmt.Println("  note: universe too large for exact F_p — no 3σ assertion (Monte Carlo shown above)")
+		}
 	}
 	return nil
 }

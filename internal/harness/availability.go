@@ -34,7 +34,21 @@ import (
 // AvailabilityConfig shapes an availability experiment.
 type AvailabilityConfig struct {
 	// P is the i.i.d. per-server crash probability of Definition 3.10.
+	// ParseAvailabilitySpec leaves it at -1 when the spec has no p= field,
+	// so heterogeneous and adversarial configs can omit it.
 	P float64
+	// PVec, when non-empty, replaces the scalar P with a per-server crash
+	// probability vector (the heterogeneous generalization of 3.10).
+	PVec []float64
+	// Domains adds correlated failure domains on top of the independent
+	// per-server probabilities: each domain fires as one Bernoulli and
+	// takes all its members down together.
+	Domains []bqs.Domain
+	// Adversary, when set, replaces the stochastic crash draws entirely:
+	// each epoch the adversary places its budget of faults itself (random
+	// placement, targeted at the loaded servers, or timing-keyed), and the
+	// measured rate is the availability under that placement strategy.
+	Adversary *bqs.AdversaryConfig
 	// Epochs is how many crash patterns are drawn and driven.
 	Epochs int
 	// Seed makes the whole experiment reproducible (pattern draws, quorum
@@ -57,7 +71,7 @@ type AvailabilityConfig struct {
 // when the spec has no seed= field, so the binaries' global -seed flag
 // keeps meaning what it means everywhere else.
 func ParseAvailabilitySpec(spec string, defaultSeed int64) (AvailabilityConfig, error) {
-	cfg := AvailabilityConfig{Epochs: 2000, Seed: defaultSeed, MCTrials: 100000}
+	cfg := AvailabilityConfig{P: -1, Epochs: 2000, Seed: defaultSeed, MCTrials: 100000}
 	seenP := false
 	for _, field := range strings.Split(spec, ",") {
 		field = strings.TrimSpace(field)
@@ -88,14 +102,40 @@ func ParseAvailabilitySpec(spec string, defaultSeed int64) (AvailabilityConfig, 
 		}
 	}
 	// The inverted comparison also rejects NaN, which `< 0 || > 1` lets
-	// through.
-	if !seenP || !(cfg.P >= 0 && cfg.P <= 1) {
+	// through. A missing p= is legal here — the caller may still supply a
+	// -p-vector, -domains, or -adversary; RunAvailability enforces that at
+	// least one crash regime is configured.
+	if seenP && !(cfg.P >= 0 && cfg.P <= 1) {
 		return AvailabilityConfig{}, errors.New("availability spec needs p=<probability in [0,1]>")
 	}
 	if cfg.Epochs <= 0 {
 		return AvailabilityConfig{}, errors.New("availability spec needs epochs > 0")
 	}
 	return cfg, nil
+}
+
+// failureModel assembles the heterogeneous failure model the config
+// describes, or hetero=false when the config is the classic scalar
+// regime (or adversarial, which draws no crashes at all).
+func (cfg AvailabilityConfig) failureModel(n int) (model bqs.FailureModel, hetero bool, err error) {
+	if len(cfg.PVec) == 0 && len(cfg.Domains) == 0 {
+		return bqs.FailureModel{}, false, nil
+	}
+	model = bqs.FailureModel{P: cfg.PVec, Domains: cfg.Domains}
+	if len(model.P) == 0 {
+		// Domains alone ride on an independent base of p (or 0) everywhere.
+		base := 0.0
+		if cfg.P >= 0 {
+			base = cfg.P
+		}
+		model.P = bqs.UniformFailureModel(n, base).P
+	} else if cfg.P >= 0 {
+		return bqs.FailureModel{}, false, errors.New("availability: give either p= or a p-vector, not both")
+	}
+	if err := model.Validate(n); err != nil {
+		return bqs.FailureModel{}, false, err
+	}
+	return model, true, nil
 }
 
 // AvailabilityResult is the outcome of an availability experiment: the
@@ -116,6 +156,16 @@ type AvailabilityResult struct {
 	LowerMasking float64 // Proposition 4.4: F_p ≥ p^(c−2b)
 	LowerB       float64 // Proposition 4.5: F_p ≥ p^(b+1), when it applies
 	Prop45       bool    // whether the Prop. 4.5 precondition holds
+
+	// Hetero is true when the epochs drew from a per-server vector or
+	// correlated-domain model rather than the scalar p; Exact/MC are then
+	// the generalized F computed under that same model.
+	Hetero bool
+	// Adversary names the placement strategy when the epochs ran under an
+	// adversary instead of stochastic draws ("" otherwise). Exact is then
+	// only populated for the random adversary (uniform B-subsets), whose
+	// crash rate is still an enumerable quantity.
+	Adversary string
 }
 
 // WithinSigma reports whether the empirical rate lands within k binomial
@@ -143,6 +193,18 @@ const availabilityEnumLimit = 1 << 17
 // and aborts the experiment.
 func RunAvailability(sys System, b int, cfg AvailabilityConfig) (AvailabilityResult, error) {
 	n := sys.UniverseSize()
+	model, hetero, err := cfg.failureModel(n)
+	if err != nil {
+		return AvailabilityResult{}, err
+	}
+	switch {
+	case cfg.Adversary != nil:
+		if hetero || cfg.P >= 0 {
+			return AvailabilityResult{}, errors.New("availability: an adversary replaces the p / p-vector / domain crash draws — give one or the other")
+		}
+	case !hetero && !(cfg.P >= 0 && cfg.P <= 1):
+		return AvailabilityResult{}, errors.New("availability spec needs p=<probability in [0,1]> (or a p-vector, domains, or an adversary)")
+	}
 	opts := []bqs.ClusterOption{bqs.WithSeed(cfg.Seed), bqs.WithDeterministic()}
 	if cfg.Registry != nil {
 		opts = append(opts, bqs.WithMetrics(cfg.Registry))
@@ -151,16 +213,55 @@ func RunAvailability(sys System, b int, cfg AvailabilityConfig) (AvailabilityRes
 	if err != nil {
 		return AvailabilityResult{}, err
 	}
+	var adv *bqs.Adversary
+	if cfg.Adversary != nil {
+		// Built once over the live cluster: the targeted scheduler reads the
+		// LoadProfile the epochs themselves accumulate, so it homes in on
+		// the servers the strategy actually uses as the experiment runs.
+		adv, err = bqs.NewAdversary(*cfg.Adversary, cluster, cluster, n)
+		if err != nil {
+			return AvailabilityResult{}, err
+		}
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	res := AvailabilityResult{Epochs: cfg.Epochs}
+	res := AvailabilityResult{Epochs: cfg.Epochs, Hetero: hetero}
+	if cfg.Adversary != nil {
+		res.Adversary = cfg.Adversary.Kind.String()
+	}
 	ctx := context.Background()
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		for i := 0; i < n; i++ {
-			behavior := bqs.Correct
-			if rng.Float64() < cfg.P {
-				behavior = bqs.Crashed
+		switch {
+		case adv != nil:
+			mode := adv.Mode()
+			victims := adv.PickVictims()
+			isVictim := make(map[int]bool, len(victims))
+			for _, v := range victims {
+				isVictim[v] = true
 			}
-			cluster.Server(i).SetBehavior(behavior)
+			for i := 0; i < n; i++ {
+				behavior := bqs.Correct
+				if isVictim[i] {
+					behavior = mode
+				}
+				cluster.Server(i).SetBehavior(behavior)
+			}
+		case hetero:
+			dead := model.SampleDead(n, rng)
+			for i := 0; i < n; i++ {
+				behavior := bqs.Correct
+				if dead.Contains(i) {
+					behavior = bqs.Crashed
+				}
+				cluster.Server(i).SetBehavior(behavior)
+			}
+		default:
+			for i := 0; i < n; i++ {
+				behavior := bqs.Correct
+				if rng.Float64() < cfg.P {
+					behavior = bqs.Crashed
+				}
+				cluster.Server(i).SetBehavior(behavior)
+			}
 		}
 		cl := cluster.NewClient(epoch)
 		// Suspicion grows by at least one genuinely dead server per failed
@@ -179,28 +280,103 @@ func RunAvailability(sys System, b int, cfg AvailabilityConfig) (AvailabilityRes
 	res.Rate = float64(res.Crashes) / float64(res.Epochs)
 	res.StdErr = math.Sqrt(res.Rate * (1 - res.Rate) / float64(res.Epochs))
 
-	if en, err := bqs.AsEnumerable(sys, availabilityEnumLimit); err == nil {
-		if exact, err := bqs.CrashProbabilityExact(en, cfg.P); err == nil {
-			res.Exact, res.ExactOK = exact, true
-			if cfg.Registry != nil {
-				cfg.Registry.Gauge("bqs_system_exact_crash_rate").Set(exact)
-			}
-		}
-	}
 	mcTrials := cfg.MCTrials
 	if mcTrials <= 0 {
 		mcTrials = 100000
 	}
-	if mc, err := bqs.CrashProbabilityMC(sys, cfg.P, mcTrials, rand.New(rand.NewSource(cfg.Seed+1))); err == nil {
-		res.MC, res.MCOK = mc, true
+	setExact := func(exact float64) {
+		res.Exact, res.ExactOK = exact, true
+		if cfg.Registry != nil {
+			cfg.Registry.Gauge("bqs_system_exact_crash_rate").Set(exact)
+		}
 	}
-	res.LowerMT = bqs.CrashLowerBoundMT(sys.MinTransversal(), cfg.P)
-	res.LowerMasking = bqs.CrashLowerBoundMasking(sys.MinQuorumSize(), b, cfg.P)
-	res.Prop45 = bqs.Prop45Applies(sys)
-	if res.Prop45 {
-		res.LowerB = bqs.CrashLowerBoundB(b, cfg.P)
+	switch {
+	case adv != nil:
+		// Only the random adversary has an enumerable crash rate: victims
+		// are a uniform B-subset, so the rate is the fraction of B-subsets
+		// that kill every quorum. Targeted and timing placements depend on
+		// the live load profile, so they get no analytic companion.
+		if cfg.Adversary.Kind == bqs.AdversaryRandom && adv.Mode() == bqs.Crashed {
+			if exact, ok := adversaryExactRandom(sys, cfg.Adversary.B); ok {
+				setExact(exact)
+			}
+		}
+	case hetero:
+		if en, err := bqs.AsEnumerable(sys, availabilityEnumLimit); err == nil {
+			if exact, err := bqs.CrashProbabilityExactModel(en, model); err == nil {
+				setExact(exact)
+			}
+		}
+		if mc, err := bqs.CrashProbabilityMCModel(sys, model, mcTrials, rand.New(rand.NewSource(cfg.Seed+1))); err == nil {
+			res.MC, res.MCOK = mc, true
+		}
+	default:
+		if en, err := bqs.AsEnumerable(sys, availabilityEnumLimit); err == nil {
+			if exact, err := bqs.CrashProbabilityExact(en, cfg.P); err == nil {
+				setExact(exact)
+			}
+		}
+		if mc, err := bqs.CrashProbabilityMC(sys, cfg.P, mcTrials, rand.New(rand.NewSource(cfg.Seed+1))); err == nil {
+			res.MC, res.MCOK = mc, true
+		}
+		// The Prop. 4.3–4.5 ladder is stated for the i.i.d. model only.
+		res.LowerMT = bqs.CrashLowerBoundMT(sys.MinTransversal(), cfg.P)
+		res.LowerMasking = bqs.CrashLowerBoundMasking(sys.MinQuorumSize(), b, cfg.P)
+		res.Prop45 = bqs.Prop45Applies(sys)
+		if res.Prop45 {
+			res.LowerB = bqs.CrashLowerBoundB(b, cfg.P)
+		}
 	}
 	return res, nil
+}
+
+// adversaryExactRandom enumerates the random adversary's exact crash
+// rate: the fraction of budget-sized victim subsets whose crash kills
+// every quorum. ok is false when the system cannot be enumerated or the
+// subset count is unreasonable.
+func adversaryExactRandom(sys System, budget int) (float64, bool) {
+	n := sys.UniverseSize()
+	if budget < 0 || budget > n {
+		return 0, false
+	}
+	en, err := bqs.AsEnumerable(sys, availabilityEnumLimit)
+	if err != nil {
+		return 0, false
+	}
+	subsets := 1.0
+	for i := 0; i < budget; i++ {
+		subsets *= float64(n-i) / float64(i+1)
+	}
+	if subsets > float64(availabilityEnumLimit) {
+		return 0, false
+	}
+	quorums := en.Quorums()
+	total, killed := 0, 0
+	victims := bqs.NewSet(n)
+	var walk func(start, left int)
+	walk = func(start, left int) {
+		if left == 0 {
+			total++
+			dead := true
+			for _, q := range quorums {
+				if !q.Intersects(victims) {
+					dead = false
+					break
+				}
+			}
+			if dead {
+				killed++
+			}
+			return
+		}
+		for i := start; i <= n-left; i++ {
+			victims.Add(i)
+			walk(i+1, left-1)
+			victims.Remove(i)
+		}
+	}
+	walk(0, budget)
+	return float64(killed) / float64(total), true
 }
 
 // ReportAvailability prints the shared availability result block: the
@@ -208,8 +384,15 @@ func RunAvailability(sys System, b int, cfg AvailabilityConfig) (AvailabilityRes
 // the exact value exists — the distance in binomial standard deviations
 // the 3σ acceptance check is applied to.
 func ReportAvailability(res AvailabilityResult) {
-	fmt.Printf("availability: %d/%d epochs crashed — empirical F_p = %.4f (±%.4f binomial SE)\n",
-		res.Crashes, res.Epochs, res.Rate, res.StdErr)
+	regime := ""
+	switch {
+	case res.Adversary != "":
+		regime = fmt.Sprintf(" under the %s adversary", res.Adversary)
+	case res.Hetero:
+		regime = " (heterogeneous model)"
+	}
+	fmt.Printf("availability: %d/%d epochs crashed%s — empirical F_p = %.4f (±%.4f binomial SE)\n",
+		res.Crashes, res.Epochs, regime, res.Rate, res.StdErr)
 	if res.ExactOK {
 		sigma := math.Sqrt(res.Exact * (1 - res.Exact) / float64(res.Epochs))
 		dist := math.Inf(1)
@@ -218,15 +401,21 @@ func ReportAvailability(res AvailabilityResult) {
 		} else if res.Rate == res.Exact {
 			dist = 0
 		}
-		fmt.Printf("analytic:     F_p(Q) = %.4f exact (Definition 3.10), measured %.2fσ away\n", res.Exact, dist)
+		label := "F_p(Q) = %.4f exact (Definition 3.10), measured %.2fσ away\n"
+		if res.Adversary != "" {
+			label = "crash rate = %.4f exact (uniform victim subsets), measured %.2fσ away\n"
+		}
+		fmt.Printf("analytic:     "+label, res.Exact, dist)
 	}
 	if res.MCOK {
 		fmt.Printf("monte carlo:  F_p ≈ %.4f ± %.4f (%d trials)\n", res.MC.Estimate, res.MC.StdErr, res.MC.Trials)
 	}
-	fmt.Printf("lower bounds: F_p ≥ %.2e (Prop 4.3, p^MT)", res.LowerMT)
-	fmt.Printf(", ≥ %.2e (Prop 4.4, p^(c−2b))", res.LowerMasking)
-	if res.Prop45 {
-		fmt.Printf(", ≥ %.2e (Prop 4.5, p^(b+1))", res.LowerB)
+	if res.Adversary == "" && !res.Hetero {
+		fmt.Printf("lower bounds: F_p ≥ %.2e (Prop 4.3, p^MT)", res.LowerMT)
+		fmt.Printf(", ≥ %.2e (Prop 4.4, p^(c−2b))", res.LowerMasking)
+		if res.Prop45 {
+			fmt.Printf(", ≥ %.2e (Prop 4.5, p^(b+1))", res.LowerB)
+		}
+		fmt.Println()
 	}
-	fmt.Println()
 }

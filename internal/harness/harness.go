@@ -201,6 +201,64 @@ func (d *ChurnDriver) Stop() error {
 	return nil
 }
 
+// AdversaryDriver owns a live adversary for a workload run, mirroring
+// ChurnDriver: StartAdversary launches the scheduler goroutine, Stop
+// cancels it at the run boundary (restoring every victim) and prints the
+// flip summary.
+type AdversaryDriver struct {
+	adv    *bqs.Adversary
+	cancel context.CancelFunc
+	done   chan error
+}
+
+// StartAdversary builds the adversary over the given Flipper (a Cluster
+// in bqs-sim, the wire transport in bqs-client) and starts its
+// re-targeting loop. loads feeds the targeted and timing schedulers and
+// may be nil for the random one. A non-nil registry gets the live series
+// bqs_adversary_flips_total{to=<behavior>} and
+// bqs_adversary_misses_total, plus an annotated event per miss.
+func StartAdversary(cfg bqs.AdversaryConfig, f bqs.Flipper, loads bqs.LoadSource, n int, reg *bqs.MetricsRegistry) (*AdversaryDriver, error) {
+	adv, err := bqs.NewAdversary(cfg, f, loads, n)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("adversary: %s scheduler, budget %d, re-targeting every %v\n", cfg.Kind, cfg.B, adv.Interval())
+	if reg != nil {
+		misses := reg.Counter("bqs_adversary_misses_total")
+		adv.OnFlip = func(server int, b bqs.Behavior, err error) {
+			if err != nil {
+				misses.Inc()
+				reg.Eventf("adversary: flip of server %d to %v missed: %v", server, b, err)
+				return
+			}
+			reg.Counter("bqs_adversary_flips_total", "to", b.String()).Inc()
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	d := &AdversaryDriver{adv: adv, cancel: cancel, done: make(chan error, 1)}
+	go func() { d.done <- adv.Run(ctx) }()
+	return d, nil
+}
+
+// Stop ends the adversary at the run boundary — Run restores every
+// victim to Correct on its way out — and reports what it did. Nil
+// drivers (no adversary) are a no-op.
+func (d *AdversaryDriver) Stop() error {
+	if d == nil {
+		return nil
+	}
+	d.cancel()
+	err := <-d.done
+	fmt.Printf("adversary: %d flips over %d rounds, %d missed\n", d.adv.Flips(), d.adv.Ticks(), d.adv.Misses())
+	if ferr := d.adv.FirstErr(); ferr != nil {
+		fmt.Printf("adversary: first miss: %v\n", ferr)
+	}
+	if err != nil && !errors.Is(err, context.Canceled) {
+		return fmt.Errorf("adversary: %w", err)
+	}
+	return nil
+}
+
 // Workload shapes a mixed ~50/50 read/write run over a keyed object
 // space.
 type Workload struct {

@@ -6,7 +6,6 @@ import (
 	"math"
 	"math/rand"
 
-	"bqs/internal/bitset"
 	"bqs/internal/core"
 )
 
@@ -21,49 +20,17 @@ var ErrUniverseTooLarge = errors.New("measures: universe too large for exact cra
 // CrashProbabilityExact computes F_p(Q) (Definition 3.10) exactly by
 // enumerating all 2^n crash configurations. Each server crashes
 // independently with probability p; the system crashes when every quorum
-// contains a crashed server.
+// contains a crashed server. It is the uniform special case of
+// CrashProbabilityExactVec, which it delegates to.
 func CrashProbabilityExact(sys core.Enumerable, p float64) (float64, error) {
 	n := sys.UniverseSize()
 	if n > MaxExactUniverse {
 		return 0, fmt.Errorf("measures: n=%d: %w", n, ErrUniverseTooLarge)
 	}
-	if p < 0 || p > 1 {
+	if !(p >= 0 && p <= 1) {
 		return 0, fmt.Errorf("measures: crash probability p=%g outside [0,1]", p)
 	}
-	quorums := sys.Quorums()
-	masks := make([]uint64, len(quorums))
-	for i, q := range quorums {
-		var m uint64
-		q.Range(func(e int) bool {
-			m |= 1 << uint(e)
-			return true
-		})
-		masks[i] = m
-	}
-	// Probability weights by crash count.
-	pPow := make([]float64, n+1)
-	qPow := make([]float64, n+1)
-	pPow[0], qPow[0] = 1, 1
-	for i := 1; i <= n; i++ {
-		pPow[i] = pPow[i-1] * p
-		qPow[i] = qPow[i-1] * (1 - p)
-	}
-
-	total := 0.0
-	for dead := uint64(0); dead < 1<<uint(n); dead++ {
-		survives := false
-		for _, m := range masks {
-			if m&dead == 0 {
-				survives = true
-				break
-			}
-		}
-		if !survives {
-			k := popcount(dead)
-			total += pPow[k] * qPow[n-k]
-		}
-	}
-	return total, nil
+	return CrashProbabilityExactVec(sys, UniformModel(n, p).P)
 }
 
 func popcount(x uint64) int {
@@ -89,26 +56,10 @@ func CrashPolynomial(sys core.Enumerable) ([]float64, error) {
 	if n > MaxExactUniverse {
 		return nil, fmt.Errorf("measures: n=%d: %w", n, ErrUniverseTooLarge)
 	}
-	quorums := sys.Quorums()
-	masks := make([]uint64, len(quorums))
-	for i, q := range quorums {
-		var m uint64
-		q.Range(func(e int) bool {
-			m |= 1 << uint(e)
-			return true
-		})
-		masks[i] = m
-	}
+	masks := quorumMasks(sys)
 	counts := make([]float64, n+1)
 	for dead := uint64(0); dead < 1<<uint(n); dead++ {
-		survives := false
-		for _, m := range masks {
-			if m&dead == 0 {
-				survives = true
-				break
-			}
-		}
-		if !survives {
+		if systemDead(masks, dead) {
 			counts[popcount(dead)]++
 		}
 	}
@@ -139,37 +90,13 @@ type MCResult struct {
 
 // CrashProbabilityMC estimates F_p(Q) by sampling crash configurations and
 // asking the system for a surviving quorum. It works for implicit systems
-// of any size.
+// of any size. It is the uniform special case of CrashProbabilityMCModel,
+// which it delegates to.
 func CrashProbabilityMC(sys core.System, p float64, trials int, rng *rand.Rand) (MCResult, error) {
-	if trials <= 0 {
-		return MCResult{}, errors.New("measures: trials must be positive")
-	}
-	if p < 0 || p > 1 {
+	if !(p >= 0 && p <= 1) {
 		return MCResult{}, fmt.Errorf("measures: crash probability p=%g outside [0,1]", p)
 	}
-	n := sys.UniverseSize()
-	failures := 0
-	for t := 0; t < trials; t++ {
-		dead := bitset.New(n)
-		for i := 0; i < n; i++ {
-			if rng.Float64() < p {
-				dead.Add(i)
-			}
-		}
-		if _, err := sys.SelectQuorum(rng, dead); err != nil {
-			if !errors.Is(err, core.ErrNoLiveQuorum) {
-				return MCResult{}, fmt.Errorf("measures: select quorum: %w", err)
-			}
-			failures++
-		}
-	}
-	est := float64(failures) / float64(trials)
-	return MCResult{
-		Estimate: est,
-		StdErr:   math.Sqrt(est * (1 - est) / float64(trials)),
-		Failures: failures,
-		Trials:   trials,
-	}, nil
+	return CrashProbabilityMCModel(sys, UniformModel(sys.UniverseSize(), p), trials, rng)
 }
 
 // CrashLowerBoundMT is Proposition 4.3: F_p(Q) ≥ p^MT(Q) = p^(f+1).

@@ -1,0 +1,57 @@
+package measures
+
+import "testing"
+
+// Fuzzers for the spec parsers: whatever the input, the parsers must not
+// panic, and any accepted spec must produce a model that passes
+// Validate — the same contract the CLI relies on.
+
+func FuzzParsePVector(f *testing.F) {
+	for _, seed := range []string{
+		"0.25", "0.1,0.2,0.3", "*:0.05,0-1:0.2", "2:0.9", "0-3:0.1,2:0.5",
+		"", "nope", "1.5", "5:0.1", "1:NaN", "-1:0.5", "2-1:0.3", "*:2",
+		"0.1,0.2", ",,,", "*:*", "0-:0.1", ":0.5", "1e-3", "0x1p-2",
+	} {
+		f.Add(seed, 4)
+	}
+	f.Fuzz(func(t *testing.T, spec string, n int) {
+		if n < 1 || n > 64 {
+			n = 8
+		}
+		vec, err := ParsePVector(spec, n)
+		if err != nil {
+			return
+		}
+		if len(vec) != n {
+			t.Fatalf("ParsePVector(%q, %d) returned %d entries", spec, n, len(vec))
+		}
+		if err := (FailureModel{P: vec}).Validate(n); err != nil {
+			t.Fatalf("ParsePVector(%q, %d) accepted an invalid vector: %v", spec, n, err)
+		}
+	})
+}
+
+func FuzzParseDomains(f *testing.F) {
+	for _, seed := range []string{
+		"0-3:0.05,4-7:0.05,8+12:0.2", "5:1", "0+2+4:0.5",
+		"", ",", "0-3", "0-3:2", "0-99:0.1", "3-1:0.1", "0+0:0.1",
+		"x:0.1", "0:x", "+:0.1", "0-0-0:0.1", "0:0.1:0.2",
+	} {
+		f.Add(seed, 16)
+	}
+	f.Fuzz(func(t *testing.T, spec string, n int) {
+		if n < 1 || n > 64 {
+			n = 16
+		}
+		doms, err := ParseDomains(spec, n)
+		if err != nil {
+			return
+		}
+		if len(doms) == 0 {
+			t.Fatalf("ParseDomains(%q, %d) accepted an empty domain list", spec, n)
+		}
+		if err := (FailureModel{Domains: doms}).Validate(n); err != nil {
+			t.Fatalf("ParseDomains(%q, %d) accepted an invalid model: %v", spec, n, err)
+		}
+	})
+}

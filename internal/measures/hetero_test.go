@@ -1,0 +1,419 @@
+package measures
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"bqs/internal/bitset"
+	"bqs/internal/core"
+)
+
+// randomSystem builds a random explicit system whose quorums are all
+// majorities of a random universe — any two majorities intersect, so
+// core.NewExplicit always accepts it.
+func randomSystem(t *testing.T, rng *rand.Rand) *core.ExplicitSystem {
+	t.Helper()
+	n := 3 + rng.Intn(6) // 3..8
+	m := 2 + rng.Intn(4) // 2..5 quorums
+	quorums := make([]bitset.Set, m)
+	for i := range quorums {
+		size := n/2 + 1 + rng.Intn(n-n/2)
+		q := bitset.New(n)
+		for q.Count() < size {
+			q.Add(rng.Intn(n))
+		}
+		quorums[i] = q
+	}
+	sys, err := core.NewExplicit("rand", n, quorums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func randomPVec(rng *rand.Rand, n int) []float64 {
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = rng.Float64()
+	}
+	return p
+}
+
+// bruteForceModel is an independent re-implementation of the exact
+// heterogeneous F_p: enumerate every subset of fired sources directly,
+// without the split-half tables, as an oracle for the fast path.
+func bruteForceModel(sys core.Enumerable, m FailureModel) float64 {
+	n := sys.UniverseSize()
+	sources := m.flatten(n)
+	masks := quorumMasks(sys)
+	total := 0.0
+	for outcome := uint64(0); outcome < 1<<uint(len(sources)); outcome++ {
+		w := 1.0
+		var dead uint64
+		for i, src := range sources {
+			if outcome&(1<<uint(i)) != 0 {
+				w *= src.p
+				dead |= src.mask
+			} else {
+				w *= 1 - src.p
+			}
+		}
+		if systemDead(masks, dead) {
+			total += w
+		}
+	}
+	return total
+}
+
+func TestExactVecMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		sys := randomSystem(t, rng)
+		p := randomPVec(rng, sys.UniverseSize())
+		got, err := CrashProbabilityExactVec(sys, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForceModel(sys, FailureModel{P: p})
+		if !approx(got, want, 1e-12) {
+			t.Errorf("trial %d: vec F = %g, brute force %g", trial, got, want)
+		}
+	}
+}
+
+func TestExactModelMatchesBruteForceWithDomains(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 25; trial++ {
+		sys := randomSystem(t, rng)
+		n := sys.UniverseSize()
+		m := FailureModel{P: randomPVec(rng, n)}
+		for d := 0; d < 1+rng.Intn(3); d++ {
+			size := 1 + rng.Intn(n)
+			dom := Domain{P: rng.Float64()}
+			seen := map[int]bool{}
+			for len(dom.Members) < size {
+				s := rng.Intn(n)
+				if !seen[s] {
+					seen[s] = true
+					dom.Members = append(dom.Members, s)
+				}
+			}
+			m.Domains = append(m.Domains, dom)
+		}
+		got, err := CrashProbabilityExactModel(sys, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForceModel(sys, m)
+		if !approx(got, want, 1e-12) {
+			t.Errorf("trial %d: model F = %g, brute force %g", trial, got, want)
+		}
+	}
+}
+
+// Scalar-p and the uniform vector must agree to 1e-12 (the scalar API is
+// a wrapper, so this pins the wrapper staying a wrapper).
+func TestScalarMatchesUniformVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 10; trial++ {
+		sys := randomSystem(t, rng)
+		p := rng.Float64()
+		scalar, err := CrashProbabilityExact(sys, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vec, err := CrashProbabilityExactVec(sys, UniformModel(sys.UniverseSize(), p).P)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx(scalar, vec, 1e-12) {
+			t.Errorf("trial %d: scalar %g vs uniform vector %g", trial, scalar, vec)
+		}
+	}
+}
+
+// F is monotone non-decreasing in each p_i: raising any one server's
+// crash probability cannot make the system less likely to crash.
+func TestExactVecMonotoneInEachCoordinate(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 15; trial++ {
+		sys := randomSystem(t, rng)
+		n := sys.UniverseSize()
+		p := randomPVec(rng, n)
+		base, err := CrashProbabilityExactVec(sys, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			bumped := append([]float64(nil), p...)
+			bumped[i] = p[i] + (1-p[i])*rng.Float64()
+			got, err := CrashProbabilityExactVec(sys, bumped)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got < base-1e-12 {
+				t.Errorf("trial %d: raising p[%d] %g→%g dropped F %g→%g",
+					trial, i, p[i], bumped[i], base, got)
+			}
+		}
+	}
+}
+
+// Singleton domains are the same thing as independent per-server
+// probabilities: {i} with probability q ≡ P[i]=q.
+func TestSingletonDomainsEquivalentToVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	for trial := 0; trial < 15; trial++ {
+		sys := randomSystem(t, rng)
+		n := sys.UniverseSize()
+		p := randomPVec(rng, n)
+		asVec, err := CrashProbabilityExactVec(sys, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := FailureModel{}
+		for i, q := range p {
+			m.Domains = append(m.Domains, Domain{Members: []int{i}, P: q})
+		}
+		asDomains, err := CrashProbabilityExactModel(sys, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx(asVec, asDomains, 1e-12) {
+			t.Errorf("trial %d: vector %g vs singleton domains %g", trial, asVec, asDomains)
+		}
+	}
+}
+
+func TestMCModelMatchesExactModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 5; trial++ {
+		sys := randomSystem(t, rng)
+		n := sys.UniverseSize()
+		m := FailureModel{
+			P:       randomPVec(rng, n),
+			Domains: []Domain{{Members: []int{0, n - 1}, P: rng.Float64() / 2}},
+		}
+		exact, err := CrashProbabilityExactModel(sys, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := CrashProbabilityMCModel(sys, m, 60000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mc.Estimate-exact) > 5*mc.StdErr+1e-9 {
+			t.Errorf("trial %d: MC %g ± %g vs exact %g", trial, mc.Estimate, mc.StdErr, exact)
+		}
+	}
+}
+
+func TestDownProbabilitiesMarginals(t *testing.T) {
+	// Analytic check: server in one domain with q and own p has marginal
+	// 1−(1−p)(1−q).
+	m := FailureModel{
+		P:       []float64{0.1, 0.2, 0},
+		Domains: []Domain{{Members: []int{0, 2}, P: 0.5}},
+	}
+	got := m.DownProbabilities(3)
+	want := []float64{1 - 0.9*0.5, 0.2, 0.5}
+	for i := range want {
+		if !approx(got[i], want[i], 1e-12) {
+			t.Errorf("marginal[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	// And empirically: SampleDead frequencies match the marginals.
+	rng := rand.New(rand.NewSource(48))
+	const trials = 100000
+	downs := make([]int, 3)
+	for t := 0; t < trials; t++ {
+		dead := m.SampleDead(3, rng)
+		for i := 0; i < 3; i++ {
+			if dead.Contains(i) {
+				downs[i]++
+			}
+		}
+	}
+	for i := range want {
+		freq := float64(downs[i]) / trials
+		if math.Abs(freq-want[i]) > 0.01 {
+			t.Errorf("sampled marginal[%d] = %g, want %g", i, freq, want[i])
+		}
+	}
+}
+
+// Correlation matters: a domain covering a whole quorum transversal
+// crashes the system more often than independent servers with the same
+// marginals.
+func TestCorrelationRaisesCrashProbability(t *testing.T) {
+	sys := majority3(t)
+	correlated := FailureModel{Domains: []Domain{{Members: []int{0, 1}, P: 0.3}}}
+	fCorr, err := CrashProbabilityExactModel(sys, correlated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fInd, err := CrashProbabilityExactVec(sys, correlated.DownProbabilities(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Correlated: both down together with 0.3 → system dead. Independent
+	// with same marginals: 0.3·0.3 = 0.09.
+	if !approx(fCorr, 0.3, 1e-12) || !approx(fInd, 0.09, 1e-12) {
+		t.Errorf("correlated %g (want 0.3), independent %g (want 0.09)", fCorr, fInd)
+	}
+}
+
+func TestExactModelSourceCap(t *testing.T) {
+	// 20 servers + 5 domains = 25 sources > MaxExactUniverse even though
+	// the universe itself fits.
+	var quorums [][]int
+	for i := 1; i < 20; i++ {
+		quorums = append(quorums, []int{0, i})
+	}
+	sys := explicit(t, "star20", 20, quorums...)
+	m := UniformModel(20, 0.1)
+	for d := 0; d < 5; d++ {
+		m.Domains = append(m.Domains, Domain{Members: []int{d}, P: 0.1})
+	}
+	if _, err := CrashProbabilityExactModel(sys, m); !errors.Is(err, ErrUniverseTooLarge) {
+		t.Errorf("err = %v, want ErrUniverseTooLarge", err)
+	}
+	// Dropping the vector leaves 5 sources: fine.
+	if _, err := CrashProbabilityExactModel(sys, FailureModel{Domains: m.Domains}); err != nil {
+		t.Errorf("domain-only model should fit: %v", err)
+	}
+}
+
+func TestFailureModelValidate(t *testing.T) {
+	bad := []FailureModel{
+		{P: []float64{0.1}},                                     // wrong length for n=3
+		{P: []float64{0.1, math.NaN(), 0.1}},                    // NaN
+		{P: []float64{0.1, 1.5, 0.1}},                           // out of range
+		{Domains: []Domain{{Members: nil, P: 0.1}}},             // empty domain
+		{Domains: []Domain{{Members: []int{3}, P: 0.1}}},        // out of universe
+		{Domains: []Domain{{Members: []int{1, 1}, P: 0.1}}},     // duplicate
+		{Domains: []Domain{{Members: []int{0}, P: -0.5}}},       // bad prob
+		{Domains: []Domain{{Members: []int{0}, P: math.NaN()}}}, // NaN prob
+	}
+	for i, m := range bad {
+		if err := m.Validate(3); err == nil {
+			t.Errorf("model %d should fail validation", i)
+		}
+	}
+	good := FailureModel{
+		P:       []float64{0, 0.5, 1},
+		Domains: []Domain{{Members: []int{0, 2}, P: 0.25}},
+	}
+	if err := good.Validate(3); err != nil {
+		t.Errorf("good model rejected: %v", err)
+	}
+	if err := (FailureModel{}).Validate(3); err != nil {
+		t.Errorf("zero model rejected: %v", err)
+	}
+}
+
+func TestOutcomeTablesSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(49))
+	sources := make([]bernoulli, 6)
+	for i := range sources {
+		sources[i] = bernoulli{p: rng.Float64(), mask: 1 << uint(i)}
+	}
+	weights, _ := outcomeTables(sources)
+	sum := 0.0
+	for _, w := range weights {
+		sum += w
+	}
+	if !approx(sum, 1, 1e-12) {
+		t.Errorf("outcome weights sum to %g, want 1", sum)
+	}
+}
+
+func TestParsePVector(t *testing.T) {
+	cases := []struct {
+		spec string
+		n    int
+		want []float64
+	}{
+		{"0.25", 4, []float64{0.25, 0.25, 0.25, 0.25}},
+		{" 0.1, 0.2 ,0.3 ", 3, []float64{0.1, 0.2, 0.3}},
+		{"*:0.05,0-1:0.2", 4, []float64{0.2, 0.2, 0.05, 0.05}},
+		{"2:0.9", 4, []float64{0, 0, 0.9, 0}},
+		{"0-3:0.1,2:0.5", 4, []float64{0.1, 0.1, 0.5, 0.1}},
+	}
+	for _, c := range cases {
+		got, err := ParsePVector(c.spec, c.n)
+		if err != nil {
+			t.Errorf("ParsePVector(%q): %v", c.spec, err)
+			continue
+		}
+		for i := range c.want {
+			if !approx(got[i], c.want[i], 1e-15) {
+				t.Errorf("ParsePVector(%q)[%d] = %g, want %g", c.spec, i, got[i], c.want[i])
+			}
+		}
+	}
+	bad := []string{"", "nope", "1.5", "0.1,0.2", "0.1,0.2,0.3,0.4", "5:0.1", "0-9:0.1", "1:NaN", "-1:0.5", "2-1:0.3", "*:2"}
+	for _, spec := range bad {
+		if _, err := ParsePVector(spec, 3); err == nil {
+			t.Errorf("ParsePVector(%q) should fail", spec)
+		}
+	}
+}
+
+func TestParseDomains(t *testing.T) {
+	doms, err := ParseDomains("0-3:0.05,4-7:0.05,8+12:0.2", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doms) != 3 {
+		t.Fatalf("got %d domains, want 3", len(doms))
+	}
+	if len(doms[0].Members) != 4 || doms[0].P != 0.05 {
+		t.Errorf("domain 0 = %+v", doms[0])
+	}
+	if got := doms[2].Members; len(got) != 2 || got[0] != 8 || got[1] != 12 {
+		t.Errorf("domain 2 members = %v, want [8 12]", got)
+	}
+	single, err := ParseDomains("5:1", 6)
+	if err != nil || len(single) != 1 || single[0].Members[0] != 5 {
+		t.Errorf("singleton domain parse: %v %+v", err, single)
+	}
+	bad := []string{"", ",", "0-3", "0-3:2", "0-99:0.1", "3-1:0.1", "0+0:0.1", "x:0.1", "0:x"}
+	for _, spec := range bad {
+		if _, err := ParseDomains(spec, 8); err == nil {
+			t.Errorf("ParseDomains(%q) should fail", spec)
+		}
+	}
+}
+
+// Parsed specs feed straight into the exact estimator — end-to-end
+// metamorphic check: a parsed uniform spec equals scalar F_p.
+func TestParsedSpecMatchesScalar(t *testing.T) {
+	sys := fano(t)
+	vec, err := ParsePVector("0.3", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaVec, err := CrashProbabilityExactVec(sys, vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaScalar, err := CrashProbabilityExact(sys, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(viaVec, viaScalar, 1e-12) {
+		t.Errorf("parsed uniform %g vs scalar %g", viaVec, viaScalar)
+	}
+}
+
+func TestParseErrorsMentionPackage(t *testing.T) {
+	// Parse errors surface on the CLI; keep them prefixed and informative.
+	_, err := ParsePVector("9:0.1", 4)
+	if err == nil || !strings.Contains(err.Error(), "universe") {
+		t.Errorf("out-of-range error unhelpful: %v", err)
+	}
+}

@@ -376,6 +376,12 @@ func (c *Cluster) PeakLoad() float64 {
 	return max
 }
 
+// Phases returns how many quorum accesses have been charged since
+// construction (or the last ResetLoadProfile) — the denominator of
+// LoadProfile, exposed so the timing adversary can key its behavior
+// flips to the protocol phase the fleet is around.
+func (c *Cluster) Phases() int64 { return c.phases.Load() }
+
 // ResetLoadProfile zeroes the access counters (e.g. after a warm-up).
 func (c *Cluster) ResetLoadProfile() {
 	c.phases.Store(0)
