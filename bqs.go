@@ -10,6 +10,7 @@ import (
 	"bqs/internal/measures"
 	"bqs/internal/obs"
 	"bqs/internal/projective"
+	"bqs/internal/reconfig"
 	"bqs/internal/sim"
 	"bqs/internal/store"
 	"bqs/internal/systems"
@@ -185,6 +186,26 @@ type (
 	WireClient = wire.Client
 	// WireDialOption configures DialWire.
 	WireDialOption = wire.DialOption
+
+	// ReconfigRecord is one epoch's configuration: the quorum
+	// construction, universe size and masking bound a cluster runs.
+	// Cluster.Reconfigure installs one; epoch-aware wire clients and
+	// daemons agree on the current one through the epoch gate.
+	ReconfigRecord = reconfig.Record
+	// ReconfigReport summarizes a completed Cluster.Reconfigure: the
+	// record installed, drain and total durations, keys handed off.
+	ReconfigReport = sim.ReconfigReport
+	// ReconfigInstaller is the transport seam Cluster.Reconfigure uses to
+	// push a record to remote shards; WireClient implements it when
+	// dialed with WithWireEpochs.
+	ReconfigInstaller = reconfig.Installer
+	// ReconfigPhase names the stations of the two-phase install
+	// (Idle → Proposed → Draining → CutOver → Retired), as exposed by the
+	// bqs_reconfig_phase gauge.
+	ReconfigPhase = reconfig.Phase
+	// WireReconfigFrame is the decoded payload of a wire reconfig control
+	// frame, for custom tooling over the epoch plane.
+	WireReconfigFrame = wire.ReconfigFrame
 )
 
 // Sentinel errors.
@@ -677,6 +698,25 @@ func ParseIDRange(spec string) ([]int, error) { return wire.ParseIDRange(spec) }
 // CheckRouteCoverage verifies the route table addresses every server of
 // an n-element universe.
 func CheckRouteCoverage(routes map[int]string, n int) error { return wire.CheckCoverage(routes, n) }
+
+// WithWireEpochs makes the dialed client epoch-aware: every pipelined
+// request is prefaced (once per connection per epoch) with an announce
+// frame pinning the epoch its quorum was drawn from, shards reject
+// mismatches with a retriable wrongepoch answer, and the client gains
+// InstallEpoch/FetchConfig plus the ReconfigInstaller seam
+// Cluster.Reconfigure drives. onStale, if non-nil, fires with the
+// shard's newer record whenever a request is bounced; it must not
+// block (it runs on the connection's read loop).
+func WithWireEpochs(onStale func(ReconfigRecord)) WireDialOption { return wire.WithEpochs(onStale) }
+
+// ParseReconfigTarget parses a reconfiguration target spec — "kind:N"
+// (e.g. "mgrid:36", "threshold:25") or "compose:OUTERxINNER" (e.g.
+// "compose:6x6") — into a ReconfigRecord with masking bound b. The
+// record's epoch is left zero, meaning "the cluster's next epoch"; the
+// target construction is built once to validate the parameters.
+func ParseReconfigTarget(spec string, b int) (ReconfigRecord, error) {
+	return reconfig.ParseTarget(spec, b)
+}
 
 // FabricatedValue is the marker value Byzantine fabricators return in the
 // simulation; reads must never surface it while faults stay within b.

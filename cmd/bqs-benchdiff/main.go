@@ -9,7 +9,9 @@
 //	bqs-benchdiff [-threshold 0.5] [-strict] old.json new.json
 //
 // Snapshots are matched by configuration key (label, system, masking
-// bound, store engine, client count, batch size). For each pair the tool
+// bound, store engine, client count, batch size — plus the final
+// configuration epoch for runs that resized mid-run, so trajectories
+// can be compared across epochs). For each pair the tool
 // prints old and new ops/s with the ratio; a pair whose ratio falls
 // below -threshold is flagged with WARN. The threshold is deliberately
 // soft (default 0.5): shared CI runners jitter by tens of percent, so
@@ -101,11 +103,19 @@ func main() {
 
 // index keys each snapshot by the fields that identify a configuration.
 // A later duplicate key overwrites an earlier one — the last measurement
-// of a configuration in a file wins.
+// of a configuration in a file wins. Runs that reconfigured carry their
+// final epoch in the key (e=N), so a pre-resize baseline and a
+// post-resize measurement of the same label diff as distinct
+// configurations instead of silently shadowing each other; epoch-0 runs
+// keep the historical key shape, so committed trajectories from before
+// the epoch plane still match.
 func index(snaps []harness.BenchSnapshot) map[string]harness.BenchSnapshot {
 	m := make(map[string]harness.BenchSnapshot, len(snaps))
 	for _, s := range snaps {
 		k := fmt.Sprintf("%s/%s/b=%d/%s/c=%d/batch=%d", s.Label, s.System, s.B, s.Store, s.Clients, s.Batch)
+		if s.Epoch > 0 {
+			k += fmt.Sprintf("/e=%d", s.Epoch)
+		}
 		m[k] = s
 	}
 	return m

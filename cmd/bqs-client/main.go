@@ -42,6 +42,19 @@
 // accumulates locally), and "timing" keys Byzantine modes to the protocol
 // phase — every flip a wire control frame, every victim restored at the
 // run boundary.
+//
+// Live reconfiguration: -reconfig replays a resize schedule
+// ("at=5s:mgrid:36") against the running fleet — each step drains the
+// current epoch, pushes the epoch-numbered record to every shard over
+// the 0x57 reconfig frame (each daemon merges its replica state into
+// the new universe before acking) and cuts the client over, with zero
+// safety violations under sustained load. The route table must cover
+// the largest target universe, so provision shard daemons for the
+// post-resize fleet up front (idle replicas cost nothing). The client
+// is epoch-aware by default at wire v2: every pipelined request is
+// covered by an announce frame pinning its epoch, stale requests bounce
+// with a retriable wrongepoch answer, and a follower self-heals the
+// epoch plane when another coordinator resizes the fleet first.
 package main
 
 import (
@@ -80,6 +93,7 @@ func run() error {
 	churn := flag.String("churn", "", "stochastic churn \"mtbf=300ms,mttr=100ms[,down=behavior][,servers=lo-hi]\" over the -duration horizon, driven remotely")
 	suspicionTTL := flag.Duration("suspicion-ttl", 0, "client suspicion TTL so recovered servers regain traffic (0 = auto: 50ms when churn is active)")
 	adversary := flag.String("adversary", "", "adversarial fault placement \"random|targeted|timing[,b=N][,behavior=MODE][,interval=D][,seed=N]\" driven remotely via control frames")
+	reconfigSpec := flag.String("reconfig", "", "resize schedule \"at=5s:mgrid:36[,at=...]\" driven against the live fleet: each step drains, installs the new epoch on every shard and cuts over; routes must cover the largest target universe")
 	benchJSON := flag.String("bench-json", "", "write the run's benchmark snapshot (ops/s, p50/p99, measured load) as JSON to this path")
 	storeLabel := flag.String("store-label", "memory", "store engine label recorded in -bench-json output (set to durable when the daemons run -data-dir)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry on this address: /metrics (Prometheus), /vars, /events, /debug/pprof")
@@ -98,7 +112,14 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := bqs.CheckRouteCoverage(table, n); err != nil {
+	reconfigSteps, err := harness.ParseReconfigSchedule(*reconfigSpec, *b)
+	if err != nil {
+		return err
+	}
+	// Coverage is checked against the largest universe the run will ever
+	// address, so a scheduled resize cannot discover a missing shard
+	// address mid-drain.
+	if err := bqs.CheckRouteCoverage(table, harness.MaxReconfigUniverse(n, reconfigSteps)); err != nil {
 		return err
 	}
 	// The registry always exists — instruments are cheap and the bench
@@ -113,8 +134,15 @@ func run() error {
 		defer ms.Close()
 		fmt.Printf("metrics: http://%s/metrics (also /vars, /events, /debug/pprof)\n", ms.Addr())
 	}
+	// The client is always epoch-aware at wire v2: requests announce the
+	// epoch their quorum was drawn from, and the follower self-heals on
+	// wrongepoch bounces (adopting a newer record another coordinator
+	// installed, or re-pushing ours to a shard that lost its epoch).
+	// Against v1 daemons the epoch plane disables itself per connection.
+	follower := &harness.EpochFollower{}
 	tr, err := bqs.DialWire(table, bqs.WithWirePoolSize(*poolSize),
-		bqs.WithWireVersion(*wireVersion), bqs.WithWireMetrics(reg))
+		bqs.WithWireVersion(*wireVersion), bqs.WithWireMetrics(reg),
+		bqs.WithWireEpochs(follower.OnStale))
 	if err != nil {
 		return err
 	}
@@ -132,6 +160,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	follower.Bind(tr, cluster)
 
 	schedule, err := harness.BuildSchedule(*faultSchedule, *churn, n, *duration, *seed)
 	if err != nil {
@@ -178,16 +207,30 @@ func run() error {
 			return err
 		}
 	}
+	// The resize schedule drives the whole fleet from here: each step
+	// drains the client's epoch, pushes the record to every shard (which
+	// merge their own replica state) and cuts over.
+	recDriver := harness.StartReconfig(cluster, reconfigSteps)
 	counters := harness.Run(cluster, w)
+	recErr := recDriver.Stop()
 	if err := advDriver.Stop(); err != nil {
 		return err
 	}
 	if err := driver.Stop(); err != nil {
 		return err
 	}
-	sum := harness.Report(cluster, sys, *b, counters)
+	if recErr != nil {
+		return recErr
+	}
+	reportSys := sys
+	if recDriver.Applied() > 0 {
+		if hs, ok := cluster.System().(harness.System); ok {
+			reportSys = hs
+		}
+	}
+	sum := harness.Report(cluster, reportSys, *b, counters)
 	if *benchJSON != "" {
-		snap := harness.Snapshot("client", sys, *b, *storeLabel, w, counters, sum)
+		snap := harness.Snapshot("client", reportSys, *b, *storeLabel, w, counters, sum)
 		if err := harness.WriteBenchJSON(*benchJSON, []harness.BenchSnapshot{snap}); err != nil {
 			return err
 		}

@@ -14,7 +14,7 @@
 //	        [-keys 0] [-key-dist uniform|zipf:S] [-batch 1]
 //	        [-fault-schedule SPEC] [-churn SPEC] [-suspicion-ttl 0]
 //	        [-availability SPEC] [-p-vector SPEC] [-domains SPEC]
-//	        [-adversary SPEC] [-data-dir DIR] [-fsync=true]
+//	        [-adversary SPEC] [-reconfig SPEC] [-data-dir DIR] [-fsync=true]
 //	        [-bench-json out.json]
 //
 // With -duration the run is time-bounded instead of op-bounded. With
@@ -41,6 +41,17 @@
 // whenever churn is active). A schedule that never leaves Correct keeps
 // the fault-free LP convergence check armed — churn instrumentation must
 // not perturb the measurement.
+//
+// Live reconfiguration: -reconfig replays a resize schedule
+// ("at=5s:mgrid:36,at=20s:compose:6x6") WHILE the workload runs — each
+// step drains the current epoch, cuts the cluster over to the target
+// quorum system at the next epoch (keeping -b) and hands the keyed
+// state to the new universe, printing the epoch-cutover line the CI
+// smoke greps. An aborted resize (drain exceeding the bound) fails the
+// run. The report then holds the measurement against the FINAL system's
+// bounds, and the -strategy optimal convergence check pins the
+// post-resize load to the new system's LP: the current-epoch load
+// profile resets at cutover.
 //
 // Durable state: -data-dir DIR backs every server with the WAL+snapshot
 // store (one engine per server under DIR/server-NNNN), so writes are
@@ -118,6 +129,7 @@ func run() error {
 	pVector := flag.String("p-vector", "", "heterogeneous per-server crash probabilities for -availability: \"0.1\" uniform, \"0.1,0.2,...\" positional, or \"*:0.05,0-3:0.2\" ranged")
 	domains := flag.String("domains", "", "correlated failure domains for -availability: \"members:prob\" entries, e.g. \"0-3:0.05,8+12:0.2\"")
 	adversary := flag.String("adversary", "", "adversarial fault placement \"random|targeted|timing[,b=N][,behavior=MODE][,interval=D][,seed=N]\": live against the workload, or per-epoch with -availability")
+	reconfigSpec := flag.String("reconfig", "", "resize schedule \"at=5s:mgrid:36[,at=20s:compose:6x6]\" replayed while the workload runs; each target keeps -b")
 	dataDir := flag.String("data-dir", "", "back every server with a durable WAL+snapshot store under DIR/server-NNNN (empty = in-memory registers)")
 	fsync := flag.Bool("fsync", true, "fsync each durable group commit (only with -data-dir)")
 	benchJSON := flag.String("bench-json", "", "write the run's benchmark snapshot (ops/s, p50/p99, measured load) as JSON to this path")
@@ -166,6 +178,10 @@ func run() error {
 	}
 
 	schedule, err := harness.BuildSchedule(*faultSchedule, *churn, sys.UniverseSize(), *duration, *seed)
+	if err != nil {
+		return err
+	}
+	reconfigSteps, err := harness.ParseReconfigSchedule(*reconfigSpec, *b)
 	if err != nil {
 		return err
 	}
@@ -239,8 +255,8 @@ func run() error {
 	fmt.Printf("workload: %s (strategy=%s, drop=%.3f, latency=%v±%v)\n",
 		w.Describe(), *strategy, *drop, *latency, *jitter)
 
-	// The churn engine and the adversary run beside the workload,
-	// cancelled at the run boundary.
+	// The churn engine, the adversary and the resize schedule run beside
+	// the workload, cancelled at the run boundary.
 	driver := harness.StartChurn(cluster, schedule, ttl, reg)
 	var advDriver *harness.AdversaryDriver
 	if advCfg != nil {
@@ -249,17 +265,31 @@ func run() error {
 			return err
 		}
 	}
+	recDriver := harness.StartReconfig(cluster, reconfigSteps)
 	counters := harness.Run(cluster, w)
+	recErr := recDriver.Stop()
 	if err := advDriver.Stop(); err != nil {
 		return err
 	}
 	if err := driver.Stop(); err != nil {
 		return err
 	}
+	if recErr != nil {
+		return recErr
+	}
 
-	sum := harness.Report(cluster, sys, *b, counters)
+	// After a resize the report and snapshot describe the system the run
+	// ended on — its universe sizes the Theorem 4.1 bounds and its LP is
+	// what the (current-epoch-only) measurement must converge to.
+	reportSys := sys
+	if recDriver.Applied() > 0 {
+		if hs, ok := cluster.System().(harness.System); ok {
+			reportSys = hs
+		}
+	}
+	sum := harness.Report(cluster, reportSys, *b, counters)
 	if *benchJSON != "" {
-		snap := harness.Snapshot("sim", sys, *b, storeLabel, w, counters, sum)
+		snap := harness.Snapshot("sim", reportSys, *b, storeLabel, w, counters, sum)
 		if err := harness.WriteBenchJSON(*benchJSON, []harness.BenchSnapshot{snap}); err != nil {
 			return err
 		}

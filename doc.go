@@ -55,6 +55,15 @@
 //     (bqs-sim -availability) measures the empirical system-crash rate
 //     against the exact F_p(Q) of Definition 3.10 and the
 //     Propositions 4.3-4.5 lower bounds.
+//   - Live reconfiguration: a running Cluster changes its quorum system
+//     without stopping via epoch-numbered records (ReconfigRecord,
+//     built by ParseReconfigTarget) applied with a two-phase
+//     propose/drain/cut-over protocol (Cluster.Reconfigure). In-flight
+//     operations complete entirely inside one epoch, so no quorum ever
+//     mixes universes; over TCP, servers gate data frames on the epoch
+//     and bounce stale clients with a retriable wrong-epoch signal
+//     carrying the new record (DialWire with WithWireEpochs). Both
+//     harness binaries schedule resizes mid-run with -reconfig.
 //
 // # Quick start
 //

@@ -82,6 +82,8 @@ type Composite struct {
 }
 
 var _ core.System = (*Composite)(nil)
+var _ core.Parameterized = (*Composite)(nil)
+var _ core.Enumerator = (*Composite)(nil)
 
 // New returns the lazy composition of outer over inner.
 func New(outer, inner core.System) *Composite {
@@ -201,6 +203,25 @@ func (c *Composite) MinTransversal() int {
 
 // MaskingBound applies Corollary 3.7 to the composed parameters.
 func (c *Composite) MaskingBound() int { return core.MaskingBoundFromParams(c) }
+
+// Enumerate materializes the composed quorum list so the Definition 3.8
+// load LP (and with it -strategy optimal and measures.Load) runs on a
+// composition: both constituents are materialized via core.AsEnumerable
+// — so compositions nest — and the product is expanded by Explicit
+// under the same quorum-count limit. The count grows as |R|^|S-quorum|
+// per outer quorum, so the limit is load-bearing: a composition past it
+// reports ErrTooManyQuorums rather than materializing gigabytes.
+func (c *Composite) Enumerate(limit int) (*core.ExplicitSystem, error) {
+	outer, err := core.AsEnumerable(c.outer, limit)
+	if err != nil {
+		return nil, fmt.Errorf("compose: outer: %w", err)
+	}
+	inner, err := core.AsEnumerable(c.inner, limit)
+	if err != nil {
+		return nil, fmt.Errorf("compose: inner: %w", err)
+	}
+	return Explicit(outer, inner, limit)
+}
 
 func params(s core.System) core.Parameterized {
 	if p, ok := s.(core.Parameterized); ok {

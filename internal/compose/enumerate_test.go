@@ -1,0 +1,64 @@
+package compose_test
+
+// External test package: the in-package tests cannot import
+// bqs/internal/systems (systems itself composes via this package), but
+// the Theorem 4.7 pin wants the real masking-threshold constituents the
+// live engine uses.
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"bqs/internal/compose"
+	"bqs/internal/core"
+	"bqs/internal/measures"
+	"bqs/internal/systems"
+)
+
+// opaque hides a system's Enumerate method, modelling a constituent
+// that cannot materialize its quorum list.
+type opaque struct{ core.System }
+
+// TestCompositeEnumerateTheorem47 pins the satellite contract: a lazy
+// Composite materializes through core.AsEnumerable (so -strategy
+// optimal works on composed systems), and the LP load of the
+// materialized product is exactly L(S)·L(R) per Theorem 4.7.
+func TestCompositeEnumerateTheorem47(t *testing.T) {
+	thr, err := systems.NewMaskingThreshold(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := compose.New(thr, thr)
+	en, err := core.AsEnumerable(c, 5000)
+	if err != nil {
+		t.Fatalf("AsEnumerable(Composite): %v", err)
+	}
+	// Threshold(5,1) has C(5,4) = 5 quorums of size 4, so the product
+	// has Σ 5^4 = 5·625 composed quorums over a 25-element universe.
+	if n := en.UniverseSize(); n != 25 {
+		t.Fatalf("universe = %d, want 25", n)
+	}
+	if got := len(en.Quorums()); got != 3125 {
+		t.Fatalf("composed quorum count = %d, want 3125", got)
+	}
+	load, _, err := measures.Load(en)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	want := thr.Load() * thr.Load() // L(S)·L(R) = 0.8·0.8
+	if math.Abs(load-want) > 1e-9 {
+		t.Fatalf("L(S∘R) = %g, want L(S)·L(R) = %g", load, want)
+	}
+	// The Explicit limit still guards the expansion.
+	if _, err := c.Enumerate(100); !errors.Is(err, compose.ErrTooManyQuorums) {
+		t.Fatalf("Enumerate(limit=100) = %v, want ErrTooManyQuorums", err)
+	}
+	// A constituent that cannot enumerate surfaces ErrNotEnumerable.
+	if _, err := compose.New(opaque{thr}, thr).Enumerate(5000); !errors.Is(err, core.ErrNotEnumerable) {
+		t.Fatalf("opaque outer: err = %v, want ErrNotEnumerable", err)
+	}
+	if _, err := compose.New(thr, opaque{thr}).Enumerate(5000); !errors.Is(err, core.ErrNotEnumerable) {
+		t.Fatalf("opaque inner: err = %v, want ErrNotEnumerable", err)
+	}
+}

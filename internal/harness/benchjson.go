@@ -15,10 +15,11 @@ import (
 // use JSON-friendly scalar units — seconds and milliseconds — so
 // trajectory tooling needs no Go duration parsing.
 type BenchSnapshot struct {
-	Label      string  `json:"label"`  // which harness produced it (sim, client, test name)
-	System     string  `json:"system"` // quorum system name
-	B          int     `json:"b"`      // masking bound
-	Store      string  `json:"store"`  // "memory" or "durable"
+	Label      string  `json:"label"`           // which harness produced it (sim, client, test name)
+	System     string  `json:"system"`          // quorum system name
+	B          int     `json:"b"`               // masking bound
+	Store      string  `json:"store"`           // "memory" or "durable"
+	Epoch      uint64  `json:"epoch,omitempty"` // configuration epoch the run ended on (0: never reconfigured)
 	Clients    int     `json:"clients"`
 	Batch      int     `json:"batch"`
 	Keys       int     `json:"keys"`
@@ -47,6 +48,7 @@ func Snapshot(label string, sys System, b int, store string, w Workload, c Count
 		System:     sys.Name(),
 		B:          b,
 		Store:      store,
+		Epoch:      s.Epoch,
 		Clients:    w.Clients,
 		Batch:      w.Batch,
 		Keys:       w.Keys,

@@ -518,6 +518,7 @@ type Summary struct {
 	Peak         float64 // measured busiest-server access frequency
 	Lower        float64 // Theorem 4.1 lower bound on L(Q)
 	StrategyLoad float64 // L_w(Q) of the installed strategy (the LP optimum under -strategy optimal); NaN under uniform selection
+	Epoch        uint64  // configuration epoch the run ended on (0: never reconfigured)
 }
 
 // Report prints the shared result block: outcome counts, successful
@@ -544,6 +545,10 @@ func Report(cluster *bqs.Cluster, sys System, b int, c Counters) Summary {
 		Peak:         cluster.PeakLoad(),
 		Lower:        bqs.LoadLowerBound(n, b, sys.MinQuorumSize()),
 		StrategyLoad: cluster.StrategyLoad(),
+		Epoch:        cluster.Epoch(),
+	}
+	if s.Epoch > 0 {
+		fmt.Printf("epoch:      %d (%s, n=%d)\n", s.Epoch, sys.Name(), n)
 	}
 	fmt.Printf("measured load: busiest server at %.4f of quorum accesses\n", s.Peak)
 	fmt.Printf("paper bounds:  L(Q) ≥ %.4f (Thm 4.1), ≥ %.4f (Cor 4.2)\n",

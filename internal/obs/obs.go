@@ -330,6 +330,8 @@ var allowedUnits = map[string]bool{
 	"ratio":   true,
 	"count":   true, // instantaneous counts (gauges)
 	"servers": true, // universe subset sizes
+	"epoch":   true, // configuration epoch number (reconfig control plane)
+	"phase":   true, // state-machine ordinal (reconfig.Phase)
 }
 
 // ValidateName checks the bqs_<layer>_<name>_<unit> convention: the name

@@ -1,0 +1,64 @@
+package reconfig
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Step is one scheduled resize: at offset At from the start of the run,
+// reconfigure to Target. The Target's epoch is 0 — the coordinator
+// assigns the next epoch number when the step fires.
+type Step struct {
+	At     time.Duration
+	Target Record
+}
+
+// ParseSchedule parses a -reconfig flag: semicolon-separated steps of
+// the form "at=<offset>:<target>", e.g.
+//
+//	at=5s:mgrid:36
+//	at=3s:mgrid:36;at=8s:compose:9x9
+//
+// Every target carries the masking bound b (reconfiguration never
+// changes b), is built once to validate feasibility, and steps must be
+// strictly increasing in time so epochs install in schedule order.
+func ParseSchedule(spec string, b int) ([]Step, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var steps []Step
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, ok := strings.CutPrefix(part, "at=")
+		if !ok {
+			return nil, fmt.Errorf("reconfig: step %q: want at=<offset>:<kind>:<universe>", part)
+		}
+		ds, target, ok := strings.Cut(v, ":")
+		if !ok {
+			return nil, fmt.Errorf("reconfig: step %q: missing target after offset", part)
+		}
+		at, err := time.ParseDuration(ds)
+		if err != nil {
+			return nil, fmt.Errorf("reconfig: step %q: bad offset: %w", part, err)
+		}
+		if at < 0 {
+			return nil, fmt.Errorf("reconfig: step %q: negative offset", part)
+		}
+		rec, err := ParseTarget(target, b)
+		if err != nil {
+			return nil, err
+		}
+		if n := len(steps); n > 0 && at <= steps[n-1].At {
+			return nil, fmt.Errorf("reconfig: step %q: offsets must be strictly increasing", part)
+		}
+		steps = append(steps, Step{At: at, Target: rec})
+	}
+	if steps == nil {
+		return nil, fmt.Errorf("reconfig: schedule %q has no steps", spec)
+	}
+	return steps, nil
+}

@@ -22,6 +22,7 @@ type clientCore struct {
 
 	mu        sync.Mutex
 	rng       *rand.Rand
+	epoch     uint64           // epoch the suspicion state is sized for
 	suspected *suspicion       // servers observed unresponsive, with ages
 	lastSeq   map[string]int64 // per-key floor so concurrent same-client writes get distinct timestamps
 }
@@ -51,6 +52,13 @@ func (cc *clientCore) pickQuorumTTL(ctx context.Context, ttl time.Duration) (bit
 		start = time.Now()
 	}
 	cc.mu.Lock()
+	// A reconfiguration changes the universe the suspicion set indexes;
+	// on the first pick of a new epoch the detector restarts empty,
+	// sized for the new fleet (old suspicions name old-epoch ids).
+	if st := cc.cluster.cur.Load(); st.epoch != cc.epoch {
+		cc.epoch = st.epoch
+		cc.suspected = newSuspicion(st.system.UniverseSize())
+	}
 	cc.suspected.ttl = ttl
 	q, err := cc.cluster.pickQuorum(ctx, cc.rng, cc.suspected, cc.id)
 	cc.mu.Unlock()

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -165,25 +166,40 @@ func WithDeterministic() Option {
 // Cluster is a set of servers fronted by a b-masking quorum system. It is
 // safe for any number of concurrent clients: per-server bookkeeping is
 // atomic, and all shared randomness lives behind the transport.
+//
+// Everything an epoch owns — system, servers, picker, strategy, load
+// accounting, the drain gate — lives in the epochState behind cur;
+// Reconfigure swaps it atomically at a cutover. The fields on Cluster
+// itself are epoch-invariant: b (reconfiguration never changes the
+// masking bound), the transport, seeds and factories.
 type Cluster struct {
-	system     core.System
 	b          int
-	servers    []*Server
-	stores     []store.Store // engines built by WithStores, closed by Close
 	transport  Transport
 	mem        *memTransport // non-nil when the built-in transport is in use
-	picker     core.Picker
-	strategy   *core.Strategy // nil under uniform selection
-	stratLoad  float64        // L_w(Q) of strategy; NaN under uniform selection
 	seed       int64
 	sequential bool
+	optimal    bool // re-solve the load LP for each epoch's system
+	fixedStrat bool // WithStrategy: weights are tied to the boot system
 
-	// Empirical load accounting: phases counts quorum accesses (one per
-	// protocol phase — a read, a timestamp collection, or a store), and
-	// accesses[i] counts probes that reached server i. Their ratio is the
-	// access frequency the paper's load (Definition 3.8) bounds.
-	phases   atomic.Int64
-	accesses []atomic.Int64
+	// cur is the current epoch; every operation and every scrape reads
+	// it with one atomic load.
+	cur atomic.Pointer[epochState]
+
+	// reconfigMu serializes Reconfigure calls; the data plane never
+	// takes it.
+	reconfigMu sync.Mutex
+
+	// storeFactory and stores track the engines the cluster built
+	// through WithStores, by server id, so a resize can attach engines
+	// to new servers and Close/retire can release exactly the ones it
+	// owns.
+	storeFactory func(id int) (store.Store, error)
+	storeMu      sync.Mutex
+	stores       map[int]store.Store
+
+	// retired accumulates the load counters of retired epochs so the
+	// telemetry counters stay monotonic across cutovers.
+	retired atomic.Pointer[retiredTotals]
 
 	// met holds the pre-resolved telemetry instruments; zero (met.on
 	// false, all instruments nil) without WithMetrics.
@@ -209,64 +225,92 @@ func NewCluster(system core.System, b int, opts ...Option) (*Cluster, error) {
 			return nil, err
 		}
 	}
+	c := &Cluster{
+		b:            b,
+		seed:         cfg.seed,
+		sequential:   cfg.sequential,
+		optimal:      cfg.optimal,
+		fixedStrat:   cfg.strategy != nil,
+		storeFactory: cfg.stores,
+		stores:       make(map[int]store.Store),
+	}
+	c.retired.Store(&retiredTotals{})
 	n := system.UniverseSize()
 	servers := make([]*Server, n)
-	var stores []store.Store
 	for i := range servers {
-		var sopts []ServerOption
-		if cfg.stores != nil {
-			st, err := cfg.stores(i)
-			if err != nil {
-				for _, open := range stores {
-					open.Close()
-				}
-				return nil, fmt.Errorf("sim: store for server %d: %w", i, err)
-			}
-			if st != nil {
-				stores = append(stores, st)
-				sopts = append(sopts, WithStore(st))
-			}
+		var err error
+		if servers[i], err = c.buildServer(i); err != nil {
+			c.Close()
+			return nil, err
 		}
-		servers[i] = NewServer(i, sopts...)
 	}
-	c := &Cluster{
-		system:     system,
-		b:          b,
-		servers:    servers,
-		stores:     stores,
-		seed:       cfg.seed,
-		sequential: cfg.sequential,
-		accesses:   make([]atomic.Int64, n),
+	st := newEpochState()
+	st.system, st.b, st.servers = system, b, servers
+	st.accesses = make([]atomic.Int64, n)
+	if err := c.installSelection(st, cfg.strategy); err != nil {
+		c.Close()
+		return nil, err
 	}
+	c.cur.Store(st)
 	if cfg.transport != nil {
 		c.transport = cfg.transport(servers)
 	} else {
 		c.mem = newMemTransport(servers, cfg.seed, cfg.dropRate, cfg.latBase, cfg.latJitter)
 		c.transport = c.mem
 	}
-	c.picker = core.NewUniformPicker(system)
-	c.stratLoad = math.NaN()
-	if cfg.strategy != nil || cfg.optimal {
-		en, err := core.AsEnumerable(system, strategyEnumLimit)
-		if err != nil {
-			return nil, fmt.Errorf("sim: strategy-backed selection: %w", err)
-		}
-		st := cfg.strategy
-		if cfg.optimal {
-			if _, st, err = measures.Load(en); err != nil {
-				return nil, fmt.Errorf("sim: optimal strategy: %w", err)
-			}
-		}
-		p, err := core.NewStrategyPicker(en, st)
-		if err != nil {
-			return nil, fmt.Errorf("sim: %w", err)
-		}
-		c.picker, c.strategy, c.stratLoad = p, st, p.InducedLoad()
-	}
 	if cfg.metrics != nil {
 		c.initMetrics(cfg.metrics)
 	}
 	return c, nil
+}
+
+// buildServer constructs one server, attaching a storage engine from
+// the WithStores factory when one is configured. Engines are tracked by
+// id so Close and epoch retirement release exactly what the cluster
+// built.
+func (c *Cluster) buildServer(id int) (*Server, error) {
+	var sopts []ServerOption
+	if c.storeFactory != nil {
+		st, err := c.storeFactory(id)
+		if err != nil {
+			return nil, fmt.Errorf("sim: store for server %d: %w", id, err)
+		}
+		if st != nil {
+			c.storeMu.Lock()
+			c.stores[id] = st
+			c.storeMu.Unlock()
+			sopts = append(sopts, WithStore(st))
+		}
+	}
+	return NewServer(id, sopts...), nil
+}
+
+// installSelection resolves the epoch's quorum-selection state: the
+// uniform picker by default, a strategy-backed picker when an explicit
+// strategy is given or the cluster runs -strategy optimal (the load LP
+// is then re-solved against st.system — this is how a reconfiguration
+// re-derives L(Q) for the new epoch's system).
+func (c *Cluster) installSelection(st *epochState, strategy *core.Strategy) error {
+	st.picker = core.NewUniformPicker(st.system)
+	st.stratLoad = math.NaN()
+	if strategy == nil && !c.optimal {
+		return nil
+	}
+	en, err := core.AsEnumerable(st.system, strategyEnumLimit)
+	if err != nil {
+		return fmt.Errorf("sim: strategy-backed selection: %w", err)
+	}
+	if c.optimal {
+		if _, strategy, err = measures.Load(en); err != nil {
+			return fmt.Errorf("sim: optimal strategy: %w", err)
+		}
+	}
+	p, err := core.NewStrategyPicker(en, strategy)
+	if err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	st.picker, st.strategy, st.stratLoad = p, strategy, p.InducedLoad()
+	return nil
 }
 
 // Close releases the storage engines the cluster built through
@@ -275,53 +319,64 @@ func NewCluster(system core.System, b int, opts ...Option) (*Cluster, error) {
 // hold.
 func (c *Cluster) Close() error {
 	var first error
-	for _, st := range c.stores {
+	c.storeMu.Lock()
+	defer c.storeMu.Unlock()
+	for id, st := range c.stores {
 		if err := st.Close(); err != nil && first == nil {
 			first = err
 		}
+		delete(c.stores, id)
 	}
 	return first
 }
 
-// Strategy returns the installed access strategy, or nil under uniform
-// selection.
-func (c *Cluster) Strategy() *core.Strategy { return c.strategy }
+// Strategy returns the current epoch's access strategy, or nil under
+// uniform selection.
+func (c *Cluster) Strategy() *core.Strategy { return c.cur.Load().strategy }
 
-// StrategyLoad returns L_w(Q), the load induced by the installed strategy
-// — the LP optimum L(Q) under WithOptimalStrategy — or NaN under uniform
-// selection. It is the analytic target the measured PeakLoad converges to
-// under failure-free balanced traffic.
-func (c *Cluster) StrategyLoad() float64 { return c.stratLoad }
+// StrategyLoad returns L_w(Q), the load induced by the current epoch's
+// strategy — the LP optimum L(Q) under WithOptimalStrategy — or NaN under
+// uniform selection. It is the analytic target the measured PeakLoad
+// converges to under failure-free balanced traffic.
+func (c *Cluster) StrategyLoad() float64 { return c.cur.Load().stratLoad }
 
-// System returns the quorum system the cluster fronts.
-func (c *Cluster) System() core.System { return c.system }
+// System returns the quorum system the cluster currently fronts.
+func (c *Cluster) System() core.System { return c.cur.Load().system }
 
 // B returns the masking bound b the protocol defends (Definition 3.5).
+// Reconfiguration never changes it.
 func (c *Cluster) B() int { return c.b }
 
-// N returns the number of servers (the universe size of Definition 3.1).
-func (c *Cluster) N() int { return len(c.servers) }
+// N returns the number of servers in the current epoch (the universe
+// size of Definition 3.1).
+func (c *Cluster) N() int { return len(c.cur.Load().servers) }
+
+// Epoch returns the current configuration epoch (0 until the first
+// reconfiguration).
+func (c *Cluster) Epoch() uint64 { return c.cur.Load().epoch }
 
 // Transport returns the installed message layer.
 func (c *Cluster) Transport() Transport { return c.transport }
 
-// Server returns server i (for fault injection and assertions).
-func (c *Cluster) Server(i int) *Server { return c.servers[i] }
+// Server returns server i of the current epoch (for fault injection and
+// assertions).
+func (c *Cluster) Server(i int) *Server { return c.cur.Load().servers[i] }
 
 // InjectFault sets the behavior of the given servers.
 func (c *Cluster) InjectFault(behavior Behavior, ids ...int) error {
+	servers := c.cur.Load().servers
 	for _, id := range ids {
-		if id < 0 || id >= len(c.servers) {
-			return fmt.Errorf("sim: server id %d out of range [0,%d)", id, len(c.servers))
+		if id < 0 || id >= len(servers) {
+			return fmt.Errorf("sim: server id %d out of range [0,%d)", id, len(servers))
 		}
-		c.servers[id].SetBehavior(behavior)
+		servers[id].SetBehavior(behavior)
 	}
 	return nil
 }
 
 // FaultCounts returns (crashed, byzantine) tallies.
 func (c *Cluster) FaultCounts() (crashed, byzantine int) {
-	for _, s := range c.servers {
+	for _, s := range c.cur.Load().servers {
 		switch b := s.Behavior(); {
 		case b == Crashed:
 			crashed++
@@ -353,13 +408,14 @@ func (c *Cluster) SetDropRate(p float64) error {
 // max{(2b+1)/c, c/n} — this is the live-traffic counterpart of
 // measures.EmpiricalLoad's offline sampling.
 func (c *Cluster) LoadProfile() []float64 {
-	out := make([]float64, len(c.servers))
-	phases := c.phases.Load()
+	st := c.cur.Load()
+	out := make([]float64, len(st.servers))
+	phases := st.phases.Load()
 	if phases == 0 {
 		return out
 	}
 	for i := range out {
-		out[i] = float64(c.accesses[i].Load()) / float64(phases)
+		out[i] = float64(st.accesses[i].Load()) / float64(phases)
 	}
 	return out
 }
@@ -376,24 +432,28 @@ func (c *Cluster) PeakLoad() float64 {
 	return max
 }
 
-// Phases returns how many quorum accesses have been charged since
-// construction (or the last ResetLoadProfile) — the denominator of
-// LoadProfile, exposed so the timing adversary can key its behavior
-// flips to the protocol phase the fleet is around.
-func (c *Cluster) Phases() int64 { return c.phases.Load() }
+// Phases returns how many quorum accesses have been charged in the
+// current epoch since its cutover (or the last ResetLoadProfile) — the
+// denominator of LoadProfile, exposed so the timing adversary can key
+// its behavior flips to the protocol phase the fleet is around.
+func (c *Cluster) Phases() int64 { return c.cur.Load().phases.Load() }
 
-// ResetLoadProfile zeroes the access counters (e.g. after a warm-up).
+// ResetLoadProfile zeroes the current epoch's access counters (e.g.
+// after a warm-up).
 func (c *Cluster) ResetLoadProfile() {
-	c.phases.Store(0)
-	for i := range c.accesses {
-		c.accesses[i].Store(0)
+	st := c.cur.Load()
+	st.phases.Store(0)
+	for i := range st.accesses {
+		st.accesses[i].Store(0)
 	}
 }
 
 // invoke routes one probe through the transport, counting it toward the
 // load profile and, when instrumented, the per-server RTT histogram.
 func (c *Cluster) invoke(ctx context.Context, server int, req Request) (Response, error) {
-	c.accesses[server].Add(1)
+	if st := c.cur.Load(); server >= 0 && server < len(st.accesses) {
+		st.accesses[server].Add(1)
+	}
 	if !c.met.on {
 		return c.transport.Invoke(ctx, server, req)
 	}
@@ -409,8 +469,11 @@ func (c *Cluster) invoke(ctx context.Context, server int, req Request) (Response
 // measured load stays the Definition 3.8 quantity. Transports without a
 // batch fast path are driven item by item.
 func (c *Cluster) invokeBatch(ctx context.Context, items []BatchItem) ([]Response, error) {
+	st := c.cur.Load()
 	for _, it := range items {
-		c.accesses[it.Server].Add(1)
+		if it.Server >= 0 && it.Server < len(st.accesses) {
+			st.accesses[it.Server].Add(1)
+		}
 	}
 	if bt, ok := c.transport.(BatchTransport); ok {
 		if !c.met.on {
@@ -455,7 +518,7 @@ func (c *Cluster) probeQuorum(ctx context.Context, q bitset.Set, req Request, vi
 
 // probeQuorumUntimed is probeQuorum without the fan-out span.
 func (c *Cluster) probeQuorumUntimed(ctx context.Context, q bitset.Set, req Request, via Transport) (map[int]Response, error) {
-	c.phases.Add(1)
+	c.cur.Load().phases.Add(1)
 	invoke := c.invoke
 	if via != nil {
 		invoke = via.Invoke
@@ -567,9 +630,16 @@ func (cl *Client) WriteKey(ctx context.Context, key, value string) error {
 
 // writeKey is WriteKey with an explicit probe route (nil = the cluster's
 // counting transport; a Session passes its batcher). It is also the
-// write-op telemetry span: every completion lands in the epoch/crash
-// counters, successful ones in the write-latency histogram.
+// epoch gate — the whole operation runs inside the epoch it entered, so
+// a reconfiguration's drain can wait it out — and the write-op telemetry
+// span: every completion lands in the epoch/crash counters, successful
+// ones in the write-latency histogram.
 func (cl *Client) writeKey(ctx context.Context, key, value string, via Transport) error {
+	st, err := cl.cluster.enterOp(ctx)
+	if err != nil {
+		return fmt.Errorf("sim: write: %w", err)
+	}
+	defer st.exit()
 	if m := &cl.cluster.met; m.on {
 		start := time.Now()
 		err := cl.doWriteKey(ctx, key, value, via)
@@ -676,9 +746,16 @@ func (cl *Client) ReadKey(ctx context.Context, key string) (TaggedValue, error) 
 
 // readKey is ReadKey with an explicit probe route (nil = the cluster's
 // counting transport; a Session passes its batcher). It is also the
-// read-op telemetry span: every completion lands in the epoch/crash
-// counters, successful ones in the read-latency histogram.
+// epoch gate — the whole operation runs inside the epoch it entered, so
+// a reconfiguration's drain can wait it out — and the read-op telemetry
+// span: every completion lands in the epoch/crash counters, successful
+// ones in the read-latency histogram.
 func (cl *Client) readKey(ctx context.Context, key string, via Transport) (TaggedValue, error) {
+	st, err := cl.cluster.enterOp(ctx)
+	if err != nil {
+		return TaggedValue{}, fmt.Errorf("sim: read: %w", err)
+	}
+	defer st.exit()
 	if m := &cl.cluster.met; m.on {
 		start := time.Now()
 		tv, err := cl.doReadKey(ctx, key, via)

@@ -102,8 +102,13 @@ func (dc *DisseminationClient) WriteKey(ctx context.Context, key, value string) 
 
 // writeKey is WriteKey with an explicit probe route (nil = the cluster's
 // counting transport; a Session passes its batcher). Like Client, it is
-// the write-op telemetry span.
+// the epoch gate and the write-op telemetry span.
 func (dc *DisseminationClient) writeKey(ctx context.Context, key, value string, via Transport) error {
+	st, err := dc.cluster.enterOp(ctx)
+	if err != nil {
+		return fmt.Errorf("sim: dissemination write: %w", err)
+	}
+	defer st.exit()
 	if m := &dc.cluster.met; m.on {
 		start := time.Now()
 		err := dc.doWriteKey(ctx, key, value, via)
@@ -183,8 +188,13 @@ func (dc *DisseminationClient) ReadKey(ctx context.Context, key string) (TaggedV
 
 // readKey is ReadKey with an explicit probe route (nil = the cluster's
 // counting transport; a Session passes its batcher). Like Client, it is
-// the read-op telemetry span.
+// the epoch gate and the read-op telemetry span.
 func (dc *DisseminationClient) readKey(ctx context.Context, key string, via Transport) (TaggedValue, error) {
+	st, err := dc.cluster.enterOp(ctx)
+	if err != nil {
+		return TaggedValue{}, fmt.Errorf("sim: dissemination read: %w", err)
+	}
+	defer st.exit()
 	if m := &dc.cluster.met; m.on {
 		start := time.Now()
 		tv, err := dc.doReadKey(ctx, key, via)

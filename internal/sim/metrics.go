@@ -53,6 +53,18 @@ type clusterMetrics struct {
 	crashes      *obs.Counter
 	failures     *obs.Counter
 	noCandidates *obs.Counter
+
+	// Reconfiguration plane: the current configuration epoch and
+	// two-phase-install phase as gauges, plus per-resize counters and
+	// durations (drain = the quiesce wait alone, duration = the whole
+	// propose→retire span).
+	epochGauge     *obs.Gauge     // bqs_cluster_epoch
+	reconfigPhase  *obs.Gauge     // bqs_reconfig_phase (reconfig.Phase ordinal)
+	installs       *obs.Counter   // bqs_reconfig_installs_total
+	reconfigAborts *obs.Counter   // bqs_reconfig_aborts_total
+	drainSeconds   *obs.Histogram // bqs_reconfig_drain_seconds
+	reconfigSecs   *obs.Histogram // bqs_reconfig_duration_seconds
+	handoffKeys    *obs.Counter   // bqs_reconfig_handoff_keys_total
 }
 
 // initMetrics resolves the cluster's instruments and registers the
@@ -78,31 +90,31 @@ func (c *Cluster) initMetrics(reg *obs.Registry) {
 	m.failures = reg.Counter("bqs_client_failures_total")
 	m.noCandidates = reg.Counter("bqs_client_no_candidate_total")
 
+	m.epochGauge = reg.Gauge("bqs_cluster_epoch")
+	m.reconfigPhase = reg.Gauge("bqs_reconfig_phase")
+	m.installs = reg.Counter("bqs_reconfig_installs_total")
+	m.reconfigAborts = reg.Counter("bqs_reconfig_aborts_total")
+	m.drainSeconds = reg.Histogram("bqs_reconfig_drain_seconds", obs.DurationBuckets)
+	m.reconfigSecs = reg.Histogram("bqs_reconfig_duration_seconds", obs.DurationBuckets)
+	m.handoffKeys = reg.Counter("bqs_reconfig_handoff_keys_total")
+	m.epochGauge.Set(float64(c.cur.Load().epoch))
+
 	// Live load profile: bqs_server_load{server=i} is accesses[i]/phases,
 	// the Definition 3.8 access frequency measured from live traffic; its
 	// max is what should converge to the strategy-load gauge.
-	for i := range c.servers {
-		acc := &c.accesses[i]
-		reg.GaugeFunc("bqs_server_load", func() float64 {
-			phases := c.phases.Load()
-			if phases == 0 {
-				return 0
-			}
-			return float64(acc.Load()) / float64(phases)
-		}, "server", strconv.Itoa(i))
-		reg.CounterFunc("bqs_server_accesses_total", acc.Load, "server", strconv.Itoa(i))
+	for i := range c.cur.Load().servers {
+		c.registerServerSeries(i)
 	}
-	reg.CounterFunc("bqs_cluster_phases_total", c.phases.Load)
+	reg.CounterFunc("bqs_cluster_phases_total", func() int64 {
+		return c.retired.Load().phases + c.cur.Load().phases.Load()
+	})
 	reg.GaugeFunc("bqs_cluster_peak_load", c.PeakLoad)
 
 	// Analytic gauges: L_w(Q) of the installed strategy (NaN under
 	// uniform) and the Theorem 4.1 lower bound when the system knows its
-	// parameters.
-	reg.GaugeFunc("bqs_cluster_strategy_load", func() float64 { return c.stratLoad })
-	if p, ok := c.system.(core.Parameterized); ok {
-		lower := measures.LoadLowerBound(c.system.UniverseSize(), c.b, p.MinQuorumSize())
-		reg.Gauge("bqs_cluster_load_lower_bound").Set(lower)
-	}
+	// parameters. Both track the current epoch.
+	reg.GaugeFunc("bqs_cluster_strategy_load", func() float64 { return c.cur.Load().stratLoad })
+	c.setLowerBoundGauge()
 
 	// Live fault mix, read from server state at scrape time.
 	reg.GaugeFunc("bqs_cluster_crashed_servers", func() float64 {
@@ -124,6 +136,46 @@ func (c *Cluster) initMetrics(reg *obs.Registry) {
 		}
 		return float64(m.crashes.Value()) / float64(epochs)
 	})
+}
+
+// registerServerSeries registers (or re-binds, after a resize) server
+// i's scrape-time series. The closures hold the index, not the counter:
+// they re-resolve the current epoch at every scrape, read 0 when the
+// index has been resized away, and fold retired epochs' totals into the
+// access counter so it stays monotonic across cutovers.
+func (c *Cluster) registerServerSeries(i int) {
+	reg, label := c.met.reg, strconv.Itoa(i)
+	reg.GaugeFunc("bqs_server_load", func() float64 {
+		st := c.cur.Load()
+		if i >= len(st.accesses) {
+			return 0
+		}
+		phases := st.phases.Load()
+		if phases == 0 {
+			return 0
+		}
+		return float64(st.accesses[i].Load()) / float64(phases)
+	}, "server", label)
+	reg.CounterFunc("bqs_server_accesses_total", func() int64 {
+		var total int64
+		if rt := c.retired.Load(); i < len(rt.accesses) {
+			total = rt.accesses[i]
+		}
+		if st := c.cur.Load(); i < len(st.accesses) {
+			total += st.accesses[i].Load()
+		}
+		return total
+	}, "server", label)
+}
+
+// setLowerBoundGauge publishes the Theorem 4.1 lower bound for the
+// current epoch's system, when it knows its parameters.
+func (c *Cluster) setLowerBoundGauge() {
+	st := c.cur.Load()
+	if p, ok := st.system.(core.Parameterized); ok {
+		lower := measures.LoadLowerBound(st.system.UniverseSize(), c.b, p.MinQuorumSize())
+		c.met.reg.Gauge("bqs_cluster_load_lower_bound").Set(lower)
+	}
 }
 
 // Registry returns the registry installed with WithMetrics, or nil.

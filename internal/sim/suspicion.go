@@ -94,7 +94,8 @@ func (c *Cluster) pickQuorum(ctx context.Context, rng *rand.Rand, sus *suspicion
 	if aged := sus.forgiveAged(); aged > 0 {
 		c.met.forgivesTTL.Add(int64(aged))
 	}
-	q, err := c.picker.PickQuorum(rng, sus.set)
+	picker := c.cur.Load().picker
+	q, err := picker.PickQuorum(rng, sus.set)
 	if err == nil {
 		return q, nil
 	}
@@ -128,7 +129,7 @@ func (c *Cluster) pickQuorum(ctx context.Context, rng *rand.Rand, sus *suspicion
 	}
 	c.met.forgivesProbe.Add(int64(forgiven))
 	c.met.reg.Eventf("client %d: probe-on-forgive readmitted %d suspects", readerID, forgiven)
-	return c.picker.PickQuorum(rng, sus.set)
+	return picker.PickQuorum(rng, sus.set)
 }
 
 // rehabProbes is how many times a probe-on-forgive sweep retries each

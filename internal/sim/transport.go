@@ -120,8 +120,13 @@ type FrameCoster interface {
 // cluster's servers, with optional message loss (dropRate) and a fixed
 // per-server round-trip latency drawn at construction time.
 type memTransport struct {
-	servers []*Server
-	latency []time.Duration // per-server round-trip delay; nil when zero
+	// state holds the server and latency tables behind one atomic pointer:
+	// every probe of every concurrent client reads them, and a live resize
+	// (Cluster.Reconfigure growing or shrinking the universe) swaps them,
+	// so the hot path must not serialize on a lock.
+	state atomic.Pointer[memState]
+
+	latBase, latJitter time.Duration // resize() draws new servers' latency from these
 
 	// dropRate holds math.Float64bits of the loss probability. The common
 	// case is a lossless network, and dropped() sits on every probe of
@@ -130,8 +135,15 @@ type memTransport struct {
 	// is the rng (which is not concurrency-safe) taken under mu.
 	dropRate atomic.Uint64
 
-	mu  sync.Mutex // guards rng; taken only when dropRate > 0
+	mu  sync.Mutex // guards rng; taken when dropRate > 0 and by resize
 	rng *rand.Rand
+}
+
+// memState is one epoch's view of the in-memory network: the servers and
+// their modelled round-trip delays, index-aligned.
+type memState struct {
+	servers []*Server
+	latency []time.Duration // per-server round-trip delay; nil when zero
 }
 
 // newMemTransport builds the in-memory transport. When base or jitter is
@@ -139,21 +151,53 @@ type memTransport struct {
 // [base, base+jitter], modelling a heterogeneous fleet.
 func newMemTransport(servers []*Server, seed int64, dropRate float64, base, jitter time.Duration) *memTransport {
 	t := &memTransport{
-		servers: servers,
-		rng:     rand.New(rand.NewSource(seed)),
+		latBase:   base,
+		latJitter: jitter,
+		rng:       rand.New(rand.NewSource(seed)),
 	}
 	t.dropRate.Store(math.Float64bits(dropRate))
+	st := &memState{servers: servers}
 	if base > 0 || jitter > 0 {
-		t.latency = make([]time.Duration, len(servers))
-		for i := range t.latency {
-			d := base
-			if jitter > 0 {
-				d += time.Duration(t.rng.Int63n(int64(jitter) + 1))
-			}
-			t.latency[i] = d
+		st.latency = make([]time.Duration, len(servers))
+		for i := range st.latency {
+			st.latency[i] = t.drawLatency()
 		}
 	}
+	t.state.Store(st)
 	return t
+}
+
+// drawLatency rolls one server's modelled round trip from
+// [latBase, latBase+latJitter]. Callers hold mu or are construction.
+func (t *memTransport) drawLatency() time.Duration {
+	d := t.latBase
+	if t.latJitter > 0 {
+		d += time.Duration(t.rng.Int63n(int64(t.latJitter) + 1))
+	}
+	return d
+}
+
+// resize swaps in a new server table at an epoch cutover. Servers
+// retained across the resize (same index) keep their modelled latency —
+// a resize does not reshuffle the surviving fleet's geography — and
+// added servers draw fresh delays from the same distribution. In-flight
+// probes that loaded the old state finish against the old table.
+func (t *memTransport) resize(servers []*Server) {
+	old := t.state.Load()
+	st := &memState{servers: servers}
+	if t.latBase > 0 || t.latJitter > 0 {
+		st.latency = make([]time.Duration, len(servers))
+		t.mu.Lock()
+		for i := range st.latency {
+			if i < len(old.latency) {
+				st.latency[i] = old.latency[i]
+				continue
+			}
+			st.latency[i] = t.drawLatency()
+		}
+		t.mu.Unlock()
+	}
+	t.state.Store(st)
 }
 
 // NewInMemoryTransport returns the transport NewCluster installs by
@@ -187,16 +231,17 @@ func (t *memTransport) Invoke(ctx context.Context, server int, req Request) (Res
 	if err := ctx.Err(); err != nil {
 		return Response{}, err
 	}
-	if server < 0 || server >= len(t.servers) {
-		return Response{}, fmt.Errorf("sim: transport: server %d out of range [0,%d)", server, len(t.servers))
+	st := t.state.Load()
+	if server < 0 || server >= len(st.servers) {
+		return Response{}, fmt.Errorf("sim: transport: server %d out of range [0,%d)", server, len(st.servers))
 	}
-	if err := t.sleep(ctx, t.latencyOf(server)); err != nil {
+	if err := t.sleep(ctx, st.latencyOf(server)); err != nil {
 		return Response{}, err
 	}
 	if t.dropped() {
 		return Response{OK: false}, nil
 	}
-	return t.servers[server].HandleRequest(req)
+	return st.servers[server].HandleRequest(req)
 }
 
 // InvokeBatch implements BatchTransport: the frame pays ONE round trip —
@@ -208,12 +253,13 @@ func (t *memTransport) InvokeBatch(ctx context.Context, items []BatchItem) ([]Re
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	st := t.state.Load()
 	var worst time.Duration
 	for _, it := range items {
-		if it.Server < 0 || it.Server >= len(t.servers) {
-			return nil, fmt.Errorf("sim: transport: server %d out of range [0,%d)", it.Server, len(t.servers))
+		if it.Server < 0 || it.Server >= len(st.servers) {
+			return nil, fmt.Errorf("sim: transport: server %d out of range [0,%d)", it.Server, len(st.servers))
 		}
-		if d := t.latencyOf(it.Server); d > worst {
+		if d := st.latencyOf(it.Server); d > worst {
 			worst = d
 		}
 	}
@@ -225,7 +271,7 @@ func (t *memTransport) InvokeBatch(ctx context.Context, items []BatchItem) ([]Re
 		return out, nil // whole frame lost: every item reads unresponsive
 	}
 	for i, it := range items {
-		resp, err := t.servers[it.Server].HandleRequest(it.Req)
+		resp, err := st.servers[it.Server].HandleRequest(it.Req)
 		if err != nil {
 			resp = Response{OK: false}
 		}
@@ -245,14 +291,14 @@ func (t *memTransport) GroupOf(int) int { return 0 }
 // per-frame cost worth amortizing when round-trip latency is modelled —
 // a lossless, instantaneous map call gains nothing from queueing behind
 // a linger.
-func (t *memTransport) WorthBatching() bool { return t.latency != nil }
+func (t *memTransport) WorthBatching() bool { return t.state.Load().latency != nil }
 
 // latencyOf returns the server's modelled round-trip delay.
-func (t *memTransport) latencyOf(server int) time.Duration {
-	if t.latency == nil {
+func (st *memState) latencyOf(server int) time.Duration {
+	if st.latency == nil {
 		return 0
 	}
-	return t.latency[server]
+	return st.latency[server]
 }
 
 // sleep waits out d, interruptibly by ctx.

@@ -5,11 +5,13 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"bqs/internal/obs"
+	"bqs/internal/reconfig"
 	"bqs/internal/sim"
 )
 
@@ -22,6 +24,15 @@ type dialConfig struct {
 	redialBackoff time.Duration
 	version       int
 	met           *wireMetrics
+
+	// Epoch awareness (WithEpochs): epoch is the configuration epoch the
+	// client announces ahead of its requests, rec the record it last
+	// adopted, onStale the callback for wrongepoch rejections. All nil
+	// for epoch-unaware clients, whose connections are served ungated
+	// like v1 peers.
+	epoch   *atomic.Uint64
+	rec     *atomic.Pointer[reconfig.Record]
+	onStale func(reconfig.Record)
 }
 
 // WithPoolSize sets how many TCP connections the client keeps per address
@@ -66,6 +77,27 @@ func WithMetrics(reg *obs.Registry) DialOption {
 		if reg != nil {
 			c.met = newWireMetrics(reg, "client")
 		}
+	}
+}
+
+// WithEpochs makes the client epoch-aware: every request frame is
+// preceded (when needed) by an announce frame naming the configuration
+// epoch the client routed it with, so servers can reject requests built
+// against a retired quorum system. A rejection reads as
+// Response{OK: false} — the retriable suspicion signal — and onStale is
+// called with the shard's current record (zero if the shard has nothing
+// installed) so the embedding layer can refresh: re-derive its quorum
+// system via the record, then adopt the epoch through InstallEpoch. The
+// client deliberately does NOT bump its announced epoch on its own —
+// announcing a new epoch while still routing with the old system's
+// quorums would let old-shape quorums through the new epoch's gate,
+// which is exactly the unsafety the gate exists to stop. onStale may be
+// nil; it must not block (it runs on connection read loops).
+func WithEpochs(onStale func(reconfig.Record)) DialOption {
+	return func(c *dialConfig) {
+		c.epoch = new(atomic.Uint64)
+		c.rec = new(atomic.Pointer[reconfig.Record])
+		c.onStale = onStale
 	}
 }
 
@@ -306,6 +338,110 @@ func (c *Client) Flip(ctx context.Context, server int, behavior sim.Behavior) er
 }
 
 var _ sim.Flipper = (*Client)(nil)
+var _ reconfig.Installer = (*Client)(nil)
+
+// Epoch returns the configuration epoch the client announces ahead of
+// its requests: 0 until it adopts a record through InstallEpoch, and
+// always 0 for epoch-unaware clients.
+func (c *Client) Epoch() uint64 {
+	if c.cfg.epoch == nil {
+		return 0
+	}
+	return c.cfg.epoch.Load()
+}
+
+// CurrentRecord returns the record the client last adopted; ok is false
+// before the first InstallEpoch and on epoch-unaware clients.
+func (c *Client) CurrentRecord() (reconfig.Record, bool) {
+	if c.cfg.rec == nil {
+		return reconfig.Record{}, false
+	}
+	if p := c.cfg.rec.Load(); p != nil {
+		return *p, true
+	}
+	return reconfig.Record{}, false
+}
+
+// InstallEpoch implements reconfig.Installer: the record travels as an
+// install frame to every distinct address in the route table, and once
+// all shards acknowledge an epoch ≥ rec.Epoch the client adopts it —
+// subsequent requests announce the new epoch. This is the cutover step
+// of Cluster.Reconfigure over a wire transport; its position AFTER the
+// drain and BEFORE the epoch publish is what keeps the adoption safe
+// (no request routed with the old system ever announces the new epoch).
+// Installs are idempotent at the shards, so retries and concurrent
+// coordinators converge. Requires an epoch-aware client (WithEpochs).
+func (c *Client) InstallEpoch(ctx context.Context, rec reconfig.Record) error {
+	if c.cfg.epoch == nil {
+		return fmt.Errorf("wire: InstallEpoch on an epoch-unaware client (dial with WithEpochs)")
+	}
+	if err := rec.Validate(); err != nil {
+		return fmt.Errorf("wire: install: %w", err)
+	}
+	for _, addr := range c.addrs() {
+		p, err := c.pool(addr)
+		if err != nil {
+			return err
+		}
+		got, err := p.pick().roundTripReconfig(ctx, ReconfigFrame{Kind: ReconfigInstall, Rec: rec})
+		if err != nil {
+			return err
+		}
+		if !got.ok {
+			return fmt.Errorf("wire: install epoch %d: shard %s unreachable", rec.Epoch, addr)
+		}
+		if got.rec.Epoch < rec.Epoch {
+			return fmt.Errorf("wire: install epoch %d: shard %s acked epoch %d", rec.Epoch, addr, got.rec.Epoch)
+		}
+	}
+	for {
+		cur := c.cfg.epoch.Load()
+		if rec.Epoch < cur {
+			return nil // a newer adoption raced us; keep it
+		}
+		if c.cfg.epoch.CompareAndSwap(cur, rec.Epoch) {
+			r := rec
+			c.cfg.rec.Store(&r)
+			return nil
+		}
+	}
+}
+
+// FetchConfig queries every shard for its current record and returns
+// the newest one found — the refresh path for a client told it is
+// stale. ok is false when no shard has a record installed; the error
+// return is reserved for aborts (ctx done, closed client) — an
+// unreachable shard is simply skipped, exactly as quorum probes treat
+// it.
+func (c *Client) FetchConfig(ctx context.Context) (reconfig.Record, bool, error) {
+	var best reconfig.Record
+	found := false
+	for _, addr := range c.addrs() {
+		p, err := c.pool(addr)
+		if err != nil {
+			return reconfig.Record{}, false, err
+		}
+		got, err := p.pick().roundTripReconfig(ctx, ReconfigFrame{Kind: ReconfigQuery})
+		if err != nil {
+			return reconfig.Record{}, false, err
+		}
+		if got.ok && got.rec.Epoch >= best.Epoch && got.rec != (reconfig.Record{}) {
+			best, found = got.rec, true
+		}
+	}
+	return best, found, nil
+}
+
+// addrs returns the distinct addresses of the route table, sorted for
+// deterministic fan-out order.
+func (c *Client) addrs() []string {
+	out := make([]string, 0, len(c.addrGroup))
+	for addr := range c.addrGroup {
+		out = append(out, addr)
+	}
+	sort.Strings(out)
+	return out
+}
 
 func (c *Client) pool(addr string) (*pool, error) {
 	c.mu.Lock()
@@ -372,6 +508,15 @@ type conn struct {
 	// flow control, that is a distributed deadlock.
 	wmu sync.Mutex
 
+	// Announce state, guarded by wmu (NOT mu): the connection the last
+	// announce preface was written to and the epoch it named. The decision
+	// to preface and the write itself must be one critical section, or two
+	// racing senders could order a request ahead of the announce that
+	// covers it. Comparing annNC against the live connection makes a
+	// reconnect re-announce naturally, with no teardown bookkeeping.
+	annNC     net.Conn
+	announced uint64
+
 	mu         sync.Mutex
 	nc         net.Conn
 	bw         *bufio.Writer
@@ -385,22 +530,35 @@ type conn struct {
 }
 
 // pendingCall is one in-flight frame awaiting its response: a single
-// operation or a batch. Channels are buffered so teardown and readLoop
-// never block on an abandoned waiter.
+// operation, a batch, or a reconfig install/query awaiting a state
+// frame. Channels are buffered so teardown and readLoop never block on
+// an abandoned waiter.
 type pendingCall struct {
 	single chan sim.Response   // non-nil for single-operation frames
 	batch  chan []sim.Response // non-nil for batch frames
+	state  chan stateReply     // non-nil for reconfig install/query frames
 	n      int                 // expected batch response count
+}
+
+// stateReply is the outcome of a reconfig install or query round trip:
+// the shard's record (zero when it has nothing installed) and whether
+// the shard answered at all.
+type stateReply struct {
+	rec reconfig.Record
+	ok  bool
 }
 
 // fail answers the call the way a crashed peer would. Called with the
 // conn state mutex held.
 func (pc *pendingCall) fail() {
-	if pc.single != nil {
+	switch {
+	case pc.single != nil:
 		pc.single <- sim.Response{OK: false}
-		return
+	case pc.state != nil:
+		pc.state <- stateReply{}
+	default:
+		pc.batch <- make([]sim.Response, pc.n) // zero Responses: all OK: false
 	}
-	pc.batch <- make([]sim.Response, pc.n) // zero Responses: all OK: false
 }
 
 // errDown is the internal signal that the remote end is unreachable; the
@@ -433,6 +591,43 @@ func (cn *conn) roundTripControl(ctx context.Context, server uint32, behavior si
 	return cn.roundTripFrame(ctx, func(id uint64) ([]byte, error) {
 		return AppendControl(nil, id, server, behavior)
 	})
+}
+
+// roundTripReconfig sends a reconfig install or query frame and waits
+// for the shard's state reply. An unreachable shard — or a negotiated v1
+// peer, which cannot speak the epoch plane — answers stateReply{ok:
+// false} rather than erroring; the error return is reserved for aborts
+// (ctx done, closed client).
+func (cn *conn) roundTripReconfig(ctx context.Context, f ReconfigFrame) (stateReply, error) {
+	ver, err := cn.version(ctx)
+	if err == errDown {
+		return stateReply{}, nil
+	}
+	if err != nil {
+		return stateReply{}, err
+	}
+	if ver < 2 {
+		return stateReply{}, nil
+	}
+	pc := &pendingCall{state: make(chan stateReply, 1)}
+	id, err := cn.send(ctx, func(id uint64) ([]byte, error) {
+		return AppendReconfig(nil, id, f)
+	}, pc)
+	if err == errDown {
+		return stateReply{}, nil
+	}
+	if err != nil {
+		return stateReply{}, err
+	}
+	select {
+	case got := <-pc.state:
+		// Connection teardown answers pending calls with the zero reply,
+		// so an answer always arrives; dead shards read as unreachable.
+		return got, nil
+	case <-ctx.Done():
+		cn.forget(id)
+		return stateReply{}, ctx.Err()
+	}
 }
 
 // roundTripFrame sends the single-operation frame built by encode (called
@@ -614,18 +809,38 @@ func (cn *conn) send(ctx context.Context, encode func(id uint64) ([]byte, error)
 		return 0, err // unencodable frame (oversized value): caller bug, abort
 	}
 	cn.pending[id] = pc
-	nc, bw := cn.nc, cn.bw
+	nc, bw, ver := cn.nc, cn.bw, cn.ver
 	cn.mu.Unlock()
 
 	cn.wmu.Lock()
-	_, werr := bw.Write(frame)
+	var werr error
+	frames, bytes := 1, len(frame)
+	if cn.cfg.epoch != nil && ver != 1 {
+		// Epoch-aware clients preface the frame with an announce whenever
+		// this connection has not yet named the current epoch — on first
+		// use, after a reconnect, and after each InstallEpoch adoption.
+		// Negotiated v1 peers are exempt: they cannot parse the frame, and
+		// their servers serve un-announced connections ungated anyway.
+		if cur := cn.cfg.epoch.Load(); cn.annNC != nc || cn.announced != cur {
+			preface, perr := AppendReconfig(nil, 0, ReconfigFrame{Kind: ReconfigAnnounce, Epoch: cur})
+			if perr == nil {
+				if _, werr = bw.Write(preface); werr == nil {
+					cn.annNC, cn.announced = nc, cur
+					frames, bytes = frames+1, bytes+len(preface)
+				}
+			}
+		}
+	}
+	if werr == nil {
+		_, werr = bw.Write(frame)
+	}
 	if werr == nil {
 		werr = bw.Flush()
 	}
 	cn.wmu.Unlock()
 	if werr == nil {
-		cn.cfg.met.framesOut.Inc()
-		cn.cfg.met.bytesOut.Add(int64(len(frame)))
+		cn.cfg.met.framesOut.Add(int64(frames))
+		cn.cfg.met.bytesOut.Add(int64(bytes))
 	}
 	if werr != nil {
 		cn.mu.Lock()
@@ -765,6 +980,45 @@ func (cn *conn) readLoop(nc net.Conn) {
 				cn.helloWait = nil
 			}
 			cn.mu.Unlock()
+		case tagReconfig:
+			rid, rf, err := DecodeReconfig(frame)
+			if err != nil {
+				goto done
+			}
+			switch rf.Kind {
+			case ReconfigState:
+				cn.mu.Lock()
+				pc, ok := cn.pending[rid]
+				if ok && pc.state != nil {
+					delete(cn.pending, rid)
+					cn.mu.Unlock()
+					pc.state <- stateReply{rec: rf.Rec, ok: true} // buffered; never blocks
+					continue
+				}
+				cn.mu.Unlock()
+				if ok {
+					goto done // a non-reconfig call answered with a state frame
+				}
+			case ReconfigWrongEpoch:
+				// The shard refused the request because this connection's
+				// announced epoch is not its own. The rejection answers the
+				// call the retriable way — Response{OK: false}, never an
+				// abort — and the embedding layer hears about the shard's
+				// record so it can refresh.
+				cn.cfg.met.wrongEpoch.Inc()
+				cn.mu.Lock()
+				pc, ok := cn.pending[rid]
+				if ok {
+					delete(cn.pending, rid)
+					pc.fail()
+				}
+				cn.mu.Unlock()
+				if h := cn.cfg.onStale; h != nil {
+					h(rf.Rec)
+				}
+			default:
+				goto done // announce/install/query from a server: protocol error
+			}
 		case tagBatchResponse:
 			id, resps, err := DecodeBatchResponse(frame)
 			if err != nil {

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"bqs/internal/obs"
+	"bqs/internal/reconfig"
 	"bqs/internal/sim"
 )
 
@@ -24,6 +25,16 @@ var ErrServerClosed = errors.New("wire: server closed")
 type Server struct {
 	replicas map[int]*sim.Server
 	met      *wireMetrics
+
+	// epochMu guards the installed configuration record. Request
+	// handlers on epoch-announced connections hold the read side for the
+	// whole replica operation, so an install (exclusive) doubles as the
+	// shard's drain: it waits out in-flight gated work, merges replica
+	// state on a quiesced shard, and every request admitted afterwards
+	// sees the new epoch. rec is zero until the first install — the
+	// shard then runs whatever configuration it booted with, at epoch 0.
+	epochMu sync.RWMutex
+	rec     reconfig.Record
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -166,6 +177,13 @@ func (s *Server) serveConn(nc net.Conn) {
 		s.met.framesOut.Inc()
 		s.met.bytesOut.Add(int64(len(out)))
 	}
+	// The connection's announced epoch: set by an announce frame, unset
+	// until then. Announce frames are processed in stream order on this
+	// loop, so every request frame is gated at the epoch announced
+	// before it; handlers capture the values by copy since they run on
+	// their own goroutines.
+	var announced uint64
+	var annSet bool
 	var buf []byte
 	for {
 		frame, err := ReadFrame(br, buf)
@@ -185,30 +203,68 @@ func (s *Server) serveConn(nc net.Conn) {
 			s.met.connNegotiated(min(ProtoVersion, int(cv)))
 			send(AppendHello(nil, byte(min(ProtoVersion, int(cv)))))
 			continue
+		case tagReconfig:
+			recID, rf, err := DecodeReconfig(frame)
+			if err != nil {
+				return
+			}
+			switch rf.Kind {
+			case ReconfigAnnounce:
+				announced, annSet = rf.Epoch, true
+				continue // no reply; the next frames are gated at this epoch
+			case ReconfigInstall:
+				rec := rf.Rec
+				encode = func() []byte {
+					out, err := AppendReconfig(nil, recID, ReconfigFrame{Kind: ReconfigState, Rec: s.install(rec)})
+					if err != nil {
+						out, _ = AppendResponse(nil, recID, sim.Response{OK: false})
+					}
+					return out
+				}
+			case ReconfigQuery:
+				encode = func() []byte {
+					cur, _ := s.CurrentRecord()
+					// A zero record travels as an empty state body: "no
+					// install yet".
+					out, err := AppendReconfig(nil, recID, ReconfigFrame{Kind: ReconfigState, Rec: cur})
+					if err != nil {
+						out, _ = AppendResponse(nil, recID, sim.Response{OK: false})
+					}
+					return out
+				}
+			default:
+				return // state/wrongepoch are server→client only: protocol error
+			}
 		case tagRequest:
 			reqID, server, req, err := DecodeRequest(frame)
 			if err != nil {
 				return
 			}
+			ann, set := announced, annSet
 			encode = func() []byte {
-				out, err := AppendResponse(nil, reqID, s.handle(server, req))
-				if err != nil {
-					// A response that cannot be encoded (oversized value from
-					// a Byzantine replica) degrades to unresponsiveness.
-					out, _ = AppendResponse(nil, reqID, sim.Response{OK: false})
-				}
-				return out
+				return s.gated(set, ann, reqID, func() []byte {
+					out, err := AppendResponse(nil, reqID, s.handle(server, req))
+					if err != nil {
+						// A response that cannot be encoded (oversized value from
+						// a Byzantine replica) degrades to unresponsiveness.
+						out, _ = AppendResponse(nil, reqID, sim.Response{OK: false})
+					}
+					return out
+				})
 			}
 		case tagBatchRequest:
 			batchID, items, err := DecodeBatchRequest(frame)
 			if err != nil {
 				return
 			}
+			ann, set := announced, annSet
 			encode = func() []byte {
-				// handleBatch guarantees the responses fit one frame, so
-				// this encode cannot fail.
-				out, _ := AppendBatchResponse(nil, batchID, s.handleBatch(items))
-				return out
+				return s.gated(set, ann, batchID, func() []byte {
+					// handleBatch guarantees the responses fit one frame, so
+					// this encode cannot fail.
+					out, _ := AppendBatchResponse(nil, batchID, s.handleBatch(items))
+					return out
+				})
 			}
 		case tagControl:
 			ctlID, server, behavior, err := DecodeControl(frame)
@@ -299,6 +355,85 @@ func (s *Server) handle(server uint32, req sim.Request) sim.Response {
 		return sim.Response{OK: false}
 	}
 	return resp
+}
+
+// CurrentRecord returns the shard's installed configuration record; ok
+// is false while the shard still runs its boot configuration (epoch 0,
+// nothing installed yet).
+func (s *Server) CurrentRecord() (reconfig.Record, bool) {
+	s.epochMu.RLock()
+	defer s.epochMu.RUnlock()
+	return s.rec, s.rec.Epoch != 0
+}
+
+// install adopts rec if it is news and returns the shard's (possibly
+// updated) record; a record at or behind the shard's epoch acks without
+// changing state, which is what makes the coordinator's per-shard fan-
+// out idempotent. The exclusive lock doubles as the shard's drain:
+// in-flight gated requests hold the read side, so the merge below runs
+// on a quiesced shard and every request admitted afterwards is gated
+// at the new epoch.
+func (s *Server) install(rec reconfig.Record) reconfig.Record {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	if rec.Epoch <= s.rec.Epoch {
+		return s.rec
+	}
+	s.rec = rec
+	s.mergeReplicasLocked(rec.Universe)
+	return s.rec
+}
+
+// mergeReplicasLocked hands the shard's keyed state to the replicas
+// that remain in the new universe: the newest stored value of every key
+// across all hosted replicas is written to each hosted replica with
+// id < universe that holds something older — the shard-local half of
+// the cluster handoff. Reading stored state (not asking the replicas)
+// sidesteps Byzantine reply behaviors, which corrupt answers, not
+// registers; completing a partially-written value is legal for the
+// safe register — the write happened, the merge finishes its
+// propagation. Called with epochMu held exclusively.
+func (s *Server) mergeReplicasLocked(universe int) {
+	best := make(map[string]sim.TaggedValue)
+	for _, rep := range s.replicas {
+		for _, key := range rep.Keys() {
+			tv := rep.SnapshotKey(key)
+			if cur, ok := best[key]; !ok || cur.TS.Less(tv.TS) {
+				best[key] = tv
+			}
+		}
+	}
+	for key, tv := range best {
+		for id, rep := range s.replicas {
+			if id < universe && rep.SnapshotKey(key).TS.Less(tv.TS) {
+				rep.HandleWrite(key, tv)
+			}
+		}
+	}
+}
+
+// gated runs one request handler under the epoch gate. Connections
+// that announced an epoch are served only while it is the shard's
+// current one — the work runs under the epoch read-lock, so it cannot
+// straddle an install — and a mismatch answers a wrongepoch frame
+// carrying the shard's record (the retriable OK: false signal on the
+// client side, never an abort). Connections that never announced are
+// served ungated, exactly like v1 peers.
+func (s *Server) gated(annSet bool, announced, id uint64, work func() []byte) []byte {
+	if !annSet {
+		return work()
+	}
+	s.epochMu.RLock()
+	defer s.epochMu.RUnlock()
+	if announced != s.rec.Epoch {
+		s.met.wrongEpoch.Inc()
+		out, err := AppendReconfig(nil, id, ReconfigFrame{Kind: ReconfigWrongEpoch, Rec: s.rec})
+		if err != nil {
+			out, _ = AppendResponse(nil, id, sim.Response{OK: false})
+		}
+		return out
+	}
+	return work()
 }
 
 // control applies a remote behavior flip to the addressed replica — the
